@@ -1,0 +1,575 @@
+(* Experiment harness: regenerates every table and figure of the
+   paper's evaluation (§6) against the pipeline-simulator oracle.
+   See DESIGN.md for the per-experiment index. *)
+
+open Facile_uarch
+open Facile_core
+module Sim = Facile_sim.Sim
+module Baselines = Facile_baselines.Baselines
+module Suite = Facile_bhive.Suite
+module Genblock = Facile_bhive.Genblock
+module Stats = Facile_stats
+module Report = Facile_report
+
+let eval_seed = 2023
+let train_seed = 77
+
+type mode = U | L
+
+let mode_str = function U -> "U" | L -> "L"
+
+(* ------------------------------------------------------------------ *)
+(* Cached evaluation data: per (arch, mode), the analyzed blocks and    *)
+(* the oracle measurement.                                             *)
+
+type sample = {
+  case : Suite.case;
+  block : Block.t;
+  measured : float;
+}
+
+let corpus = lazy (Suite.corpus ~seed:eval_seed ~size:(Suite.default_size ()) ())
+
+let data_cache : (Config.arch * mode, sample list) Hashtbl.t = Hashtbl.create 32
+
+let samples cfg mode =
+  let key = (cfg.Config.arch, mode) in
+  match Hashtbl.find_opt data_cache key with
+  | Some s -> s
+  | None ->
+    let s =
+      List.filter_map
+        (fun (c : Suite.case) ->
+          let insts = match mode with U -> c.Suite.body | L -> c.Suite.loop in
+          let block = Block.of_instructions cfg insts in
+          match Sim.measure block with
+          | m -> Some { case = c; block; measured = m }
+          | exception Sim.Did_not_converge -> None)
+        (Lazy.force corpus)
+    in
+    Hashtbl.add data_cache key s;
+    s
+
+(* Trained models, per arch (trained on TP_U, like Ithemal). *)
+let learned_cache : (Config.arch, Baselines.learned) Hashtbl.t =
+  Hashtbl.create 16
+
+let learned_model cfg =
+  match Hashtbl.find_opt learned_cache cfg.Config.arch with
+  | Some m -> m
+  | None ->
+    let train_corpus = Suite.corpus ~seed:train_seed ~size:300 () in
+    let samples =
+      List.filter_map
+        (fun (c : Suite.case) ->
+          let block = Block.of_instructions cfg c.Suite.body in
+          match Sim.measure block with
+          | m -> Some (block, m)
+          | exception Sim.Did_not_converge -> None)
+        train_corpus
+    in
+    let m = Baselines.train samples in
+    Hashtbl.add learned_cache cfg.Config.arch m;
+    m
+
+(* ------------------------------------------------------------------ *)
+(* Predictors                                                          *)
+
+type predictor = {
+  pname : string;
+  notion : mode option; (* the throughput notion it is designed for *)
+  predict : Config.t -> Block.t -> float;
+}
+
+let facile_predictor =
+  { pname = "FACILE"; notion = None;
+    predict = (fun _ b -> (Model.predict b).Model.cycles) }
+
+let predictors =
+  [ facile_predictor;
+    { pname = "uiCA-like"; notion = None;
+      predict = (fun _ b -> Sim.uica_like b) };
+    { pname = "llvm-mca-like"; notion = Some L;
+      predict = (fun _ b -> Baselines.llvm_mca_like b) };
+    { pname = "OSACA-like"; notion = Some L;
+      predict = (fun _ b -> Baselines.osaca_like b) };
+    { pname = "IACA-like"; notion = Some L;
+      predict = (fun _ b -> Baselines.iaca_like b) };
+    { pname = "learned"; notion = Some U;
+      predict = (fun cfg b -> Baselines.predict_learned (learned_model cfg) b) } ]
+
+let accuracy pairs =
+  let pairs =
+    List.map
+      (fun (m, p) -> (Stats.Error_metrics.round2 m, Stats.Error_metrics.round2 p))
+      pairs
+  in
+  (Stats.Error_metrics.mape pairs, Stats.Kendall.tau_b pairs)
+
+let eval_predictor cfg mode (p : predictor) =
+  let s = samples cfg mode in
+  accuracy (List.map (fun x -> (x.measured, p.predict cfg x.block)) s)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 () =
+  Report.Table.print ~title:"Table 1: Microarchitectures used for the evaluation"
+    ~header:[ "uArch"; "Abbr."; "Released"; "CPU" ]
+    (List.map
+       (fun (c : Config.t) ->
+         [ c.Config.name; c.Config.abbrev; string_of_int c.Config.released;
+           c.Config.cpu ])
+       Config.all)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+
+let table2 () =
+  let rows = ref [] in
+  List.iter
+    (fun (cfg : Config.t) ->
+      List.iter
+        (fun p ->
+          let mape_u, tau_u = eval_predictor cfg U p in
+          let mape_l, tau_l = eval_predictor cfg L p in
+          let mark m =
+            (* parenthesize results on the notion the predictor was not
+               designed for, like the gray cells in the paper *)
+            match p.notion with
+            | Some n when n <> m -> fun s -> "(" ^ s ^ ")"
+            | _ -> fun s -> s
+          in
+          rows :=
+            [ cfg.Config.abbrev; p.pname;
+              mark U (Report.Table.pct mape_u);
+              mark U (Report.Table.f4 tau_u);
+              mark L (Report.Table.pct mape_l);
+              mark L (Report.Table.f4 tau_l) ]
+            :: !rows)
+        predictors)
+    Config.all;
+  Report.Table.print
+    ~title:
+      "Table 2: Comparison of predictors on BHive_U and BHive_L \
+       (vs. pipeline-simulator oracle)"
+    ~header:
+      [ "uArch"; "Predictor"; "MAPE(U)"; "Kendall(U)"; "MAPE(L)"; "Kendall(L)" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: component ablations                                        *)
+
+let variant_rows =
+  let open Model in
+  [ "FACILE", default, `Both;
+    "FACILE w/ SimplePredec", { default with simple_predec = true }, `U;
+    "FACILE w/ SimpleDec", { default with simple_dec = true }, `U;
+    "only Predec", { default with only = Some [ Predec ] }, `U;
+    "only Dec", { default with only = Some [ Dec ] }, `U;
+    "only DSB", { default with only = Some [ DSB ] }, `L;
+    "only LSD", { default with only = Some [ LSD ] }, `L;
+    "only Issue", { default with only = Some [ Issue ] }, `Both;
+    "only Ports", { default with only = Some [ Ports ] }, `Both;
+    "only Precedence", { default with only = Some [ Precedence ] }, `Both;
+    "only Predec+Ports", { default with only = Some [ Predec; Ports ] }, `U;
+    "only Precedence+Ports",
+    { default with only = Some [ Precedence; Ports ] }, `Both;
+    "FACILE w/o Predec", { default with without = [ Predec ] }, `U;
+    "FACILE w/o Dec", { default with without = [ Dec ] }, `U;
+    "FACILE w/o DSB", { default with without = [ DSB ] }, `L;
+    "FACILE w/o LSD", { default with without = [ LSD ] }, `L;
+    "FACILE w/o Issue", { default with without = [ Issue ] }, `Both;
+    "FACILE w/o Ports", { default with without = [ Ports ] }, `Both;
+    "FACILE w/o Precedence", { default with without = [ Precedence ] }, `Both ]
+
+let table3 () =
+  let archs = [ Config.RKL; Config.SKL; Config.SNB ] in
+  let rows = ref [] in
+  List.iter
+    (fun arch ->
+      let cfg = Config.by_arch arch in
+      List.iter
+        (fun (name, variant, applicable) ->
+          let cell mode =
+            let applies =
+              match applicable, mode with
+              | `Both, _ -> true
+              | `U, U -> true
+              | `L, L -> true
+              | _ -> false
+            in
+            if not applies then ("", "")
+            else begin
+              let s = samples cfg mode in
+              let predict b =
+                match mode with
+                | U -> (Model.predict_u ~variant b).Model.cycles
+                | L -> (Model.predict_l ~variant b).Model.cycles
+              in
+              let mape, tau =
+                accuracy (List.map (fun x -> (x.measured, predict x.block)) s)
+              in
+              (Report.Table.pct mape, Report.Table.f4 tau)
+            end
+          in
+          let mu, tu = cell U in
+          let ml, tl = cell L in
+          rows := [ cfg.Config.abbrev; name; mu; tu; ml; tl ] :: !rows)
+        variant_rows)
+    archs;
+  Report.Table.print
+    ~title:"Table 3: Influence of components on the prediction accuracy"
+    ~header:
+      [ "uArch"; "Predictor"; "MAPE(U)"; "Kendall(U)"; "MAPE(L)"; "Kendall(L)" ]
+    (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: speedup when idealizing a single component                 *)
+
+let table4 () =
+  let comps =
+    Model.[ Predec, "Predec"; Dec, "Dec"; Issue, "Issue"; Ports, "Ports";
+            Precedence, "Precedence" ]
+  in
+  let rows =
+    List.map
+      (fun (cfg : Config.t) ->
+        let s = samples cfg U in
+        let base =
+          List.fold_left (fun a x -> a +. (Model.predict_u x.block).Model.cycles)
+            0.0 s
+        in
+        cfg.Config.abbrev
+        :: List.map
+             (fun (c, _) ->
+               let ideal =
+                 List.fold_left
+                   (fun a x ->
+                     a
+                     +. (Model.predict_u
+                           ~variant:{ Model.default with Model.idealized = [ c ] }
+                           x.block)
+                          .Model.cycles)
+                   0.0 s
+               in
+               Printf.sprintf "%.2f" (base /. Float.max ideal 1e-9))
+             comps)
+      Config.all
+  in
+  Report.Table.print
+    ~title:"Table 4: Speedup when idealizing a single component (TP_U)"
+    ~header:("uArch" :: List.map snd comps)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: heatmaps measured vs. predicted (RKL, BHive_L, < 10 cyc)  *)
+
+let fig3 () =
+  let cfg = Config.by_arch Config.RKL in
+  let s = samples cfg L in
+  let plot name predict =
+    let pairs =
+      List.filter_map
+        (fun x ->
+          if x.measured < 10.0 then Some (x.measured, predict x.block)
+          else None)
+        s
+    in
+    Printf.printf "\nFigure 3 (%s, Rocket Lake, BHive_L):\n%s" name
+      (Report.Heatmap.render ~max_value:10.0 ~bins:40 pairs)
+  in
+  plot "FACILE" (fun b -> (Model.predict_l b).Model.cycles);
+  plot "uiCA-like" Sim.uica_like
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: distribution of per-component analysis times              *)
+
+let time_one f =
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  Unix.gettimeofday () -. t0
+
+let fig4 () =
+  let cfg = Config.by_arch Config.SKL in
+  let describe name times_us =
+    [ name;
+      Printf.sprintf "%.1f" (Stats.Descriptive.percentile 25.0 times_us);
+      Printf.sprintf "%.1f" (Stats.Descriptive.median times_us);
+      Printf.sprintf "%.1f" (Stats.Descriptive.mean times_us);
+      Printf.sprintf "%.1f" (Stats.Descriptive.percentile 90.0 times_us) ]
+  in
+  let run mode =
+    let s = samples cfg mode in
+    let component name f =
+      describe name
+        (List.map (fun x -> 1e6 *. time_one (fun () -> f x.block)) s)
+    in
+    let mode_tag = match mode with U -> `Unrolled | L -> `Loop in
+    let rows =
+      [ describe "overhead (decode+analyze)"
+          (List.map
+             (fun x -> 1e6 *. time_one (fun () ->
+                  Block.of_bytes cfg x.block.Block.bytes))
+             s);
+        component "Predec" (fun b -> Predec.throughput ~mode:mode_tag b);
+        component "Dec" Dec.throughput;
+        component "DSB" Dsb.throughput;
+        component "LSD" Lsd.throughput;
+        component "Issue" Issue.throughput;
+        component "Ports" Ports.throughput;
+        component "Precedence" Precedence.throughput ]
+    in
+    Report.Table.print
+      ~title:
+        (Printf.sprintf
+           "Figure 4: per-component execution times under TP_%s (microseconds)"
+           (mode_str mode))
+      ~header:[ "component"; "p25"; "median"; "mean"; "p90" ]
+      rows
+  in
+  run U;
+  run L
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: end-to-end predictor latency comparison                   *)
+
+let fig5 () =
+  let cfg = Config.by_arch Config.SKL in
+  let su = samples cfg U and sl = samples cfg L in
+  let all = su @ sl in
+  (* make sure the learned model is trained outside the timed region *)
+  ignore (learned_model cfg);
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun x -> ignore (f x.block)) all;
+    let dt = Unix.gettimeofday () -. t0 in
+    (name, dt, 1e6 *. dt /. float_of_int (List.length all))
+  in
+  let results =
+    [ timed "FACILE" (fun b -> (Model.predict b).Model.cycles);
+      timed "pipeline sim (oracle)" Sim.measure;
+      timed "uiCA-like" Sim.uica_like;
+      timed "llvm-mca-like" Baselines.llvm_mca_like;
+      timed "OSACA-like" Baselines.osaca_like;
+      timed "IACA-like" Baselines.iaca_like;
+      timed "learned" (Baselines.predict_learned (learned_model cfg)) ]
+  in
+  let _, facile_t, _ = List.hd results in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 5: efficiency on %d blocks (Skylake, BHive_U + BHive_L)"
+         (List.length all))
+    ~header:[ "predictor"; "total s"; "us/block"; "rel. to FACILE" ]
+    (List.map
+       (fun (name, dt, per) ->
+         [ name; Printf.sprintf "%.3f" dt; Printf.sprintf "%.1f" per;
+           Printf.sprintf "%.1fx" (dt /. facile_t) ])
+       results)
+
+(* Bechamel micro-benchmark: one Test.make per predictor on a
+   representative block. *)
+let microbench () =
+  let open Bechamel in
+  let cfg = Config.by_arch Config.SKL in
+  let case = List.nth (Lazy.force corpus) 7 in
+  let block = Block.of_instructions cfg case.Suite.loop in
+  ignore (learned_model cfg);
+  let learned = learned_model cfg in
+  let mk name f = Test.make ~name (Staged.stage (fun () -> ignore (f block))) in
+  let tests =
+    Test.make_grouped ~name:"predictors" ~fmt:"%s %s"
+      [ mk "facile" (fun b -> (Model.predict b).Model.cycles);
+        mk "sim-oracle" Sim.measure;
+        mk "uica-like" Sim.uica_like;
+        mk "llvm-mca-like" Baselines.llvm_mca_like;
+        mk "osaca-like" Baselines.osaca_like;
+        mk "iaca-like" Baselines.iaca_like;
+        mk "learned" (Baselines.predict_learned learned) ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg' =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg' instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  let results = benchmark () in
+  Printf.printf "\nBechamel micro-benchmark (ns per prediction, one block):\n";
+  Hashtbl.iter
+    (fun _k v ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns\n" name est
+          | _ -> ())
+        v)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: Sankey of bottleneck evolution (TP_U)                     *)
+
+let fig6 () =
+  let chain = [ Config.SNB; Config.HSW; Config.CLX; Config.RKL ] in
+  let bottleneck cfg (c : Suite.case) =
+    let b = Block.of_instructions cfg c.Suite.body in
+    Model.component_name (Model.bottleneck b)
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | _ -> []
+  in
+  List.iter
+    (fun (a1, a2) ->
+      let c1 = Config.by_arch a1 and c2 = Config.by_arch a2 in
+      let flows = Hashtbl.create 16 in
+      List.iter
+        (fun case ->
+          let k = (bottleneck c1 case, bottleneck c2 case) in
+          Hashtbl.replace flows k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt flows k)))
+        (Lazy.force corpus);
+      let flow_list =
+        Hashtbl.fold (fun (s, d) n acc -> (s, d, n) :: acc) flows []
+      in
+      Printf.printf "\nFigure 6: bottlenecks %s -> %s (TP_U)\n%s"
+        c1.Config.abbrev c2.Config.abbrev
+        (Report.Sankey.render ~from_label:c1.Config.abbrev
+           ~to_label:c2.Config.abbrev flow_list))
+    (pairs chain)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of Facile's own design choices (see DESIGN.md)            *)
+
+let ablations () =
+  let cfg = Config.by_arch Config.SKL in
+  let s = samples cfg L @ samples cfg U in
+  (* 1. Ports: pairwise heuristic vs exhaustive subset enumeration *)
+  let t0 = Unix.gettimeofday () in
+  let fast = List.map (fun x -> Ports.throughput x.block) s in
+  let t_fast = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let exact = List.map (fun x -> Ports.throughput_exhaustive x.block) s in
+  let t_exact = Unix.gettimeofday () -. t0 in
+  let agree =
+    List.for_all2 (fun a b -> abs_float (a -. b) < 1e-9) fast exact
+  in
+  (* 2. Precedence: Howard vs Lawler *)
+  let t0 = Unix.gettimeofday () in
+  let howard = List.map (fun x -> Precedence.throughput x.block) s in
+  let t_howard = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let lawler = List.map (fun x -> Precedence.throughput_lawler x.block) s in
+  let t_lawler = Unix.gettimeofday () -. t0 in
+  let prec_agree =
+    List.for_all2 (fun a b -> abs_float (a -. b) < 1e-5) howard lawler
+  in
+  (* 3. Full vs simple front-end component models: accuracy from Table 3,
+     timing here *)
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun x -> ignore (Predec.throughput ~mode:`Unrolled x.block)) s;
+  let t_predec = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun x -> ignore (Predec.simple x.block)) s;
+  let t_spredec = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun x -> ignore (Dec.throughput x.block)) s;
+  let t_dec = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun x -> ignore (Dec.simple x.block)) s;
+  let t_sdec = Unix.gettimeofday () -. t0 in
+  let us t = Printf.sprintf "%.1f" (1e6 *. t /. float_of_int (List.length s)) in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Ablations: design choices on %d blocks (Skylake); accuracy \
+          impact is in Table 3"
+         (List.length s))
+    ~header:[ "design choice"; "us/block"; "alternative"; "us/block ";
+              "same bound?" ]
+    [ [ "Ports pairwise"; us t_fast; "exhaustive subsets"; us t_exact;
+        string_of_bool agree ];
+      [ "Precedence Howard"; us t_howard; "Lawler bin-search"; us t_lawler;
+        string_of_bool prec_agree ];
+      [ "Predec full"; us t_predec; "SimplePredec"; us t_spredec; "no" ];
+      [ "Dec Algorithm 1"; us t_dec; "SimpleDec"; us t_sdec; "no" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Region extension demo (paper §7 future work)                        *)
+
+let region () =
+  let cfg = Config.by_arch Config.SKL in
+  let parse s =
+    match Facile_x86.Asm.parse_block s with
+    | Ok l -> l
+    | Error m -> failwith m
+  in
+  (* an if/else diamond: hot arithmetic path, cold shuffle path *)
+  let hot =
+    parse "imul rax, rbx\nadd rax, rcx\nadd rdx, 8\ncmp rdx, rsi\njne -20"
+  in
+  let cold =
+    parse "pshufd xmm0, xmm1, 0x1b\npshufd xmm2, xmm0, 0x1b\nadd rdx, 8\njne -16"
+  in
+  let r =
+    Region.analyze cfg
+      [ { Region.insts = hot; weight = 0.9 };
+        { Region.insts = cold; weight = 0.1 } ]
+  in
+  Printf.printf
+    "\nRegion analysis (90%% hot / 10%% cold):\n\
+    \  naive weighted sum:     %.2f cycles\n\
+    \  aggregated region bound: %.2f cycles (bottleneck: %s)\n"
+    r.Region.naive r.Region.cycles
+    (Model.component_name r.Region.bottleneck);
+  List.iter
+    (fun (c, v) ->
+      Printf.printf "    %-11s %.2f\n" (Model.component_name c) v)
+    r.Region.component_values
+
+(* ------------------------------------------------------------------ *)
+(* Notion gap: TP_U vs TP_L (the §3.1 motivation)                      *)
+
+let notion () =
+  let rows =
+    List.map
+      (fun (cfg : Config.t) ->
+        let pairs =
+          List.filter_map
+            (fun (c : Suite.case) ->
+              let bu = Block.of_instructions cfg c.Suite.body in
+              let bl = Block.of_instructions cfg c.Suite.loop in
+              let u = (Model.predict_u bu).Model.cycles in
+              let l = (Model.predict_l bl).Model.cycles in
+              if u > 0.0 && l > 0.0 then Some (u, l) else None)
+            (Lazy.force corpus)
+        in
+        let ratios = List.map (fun (u, l) -> u /. l) pairs in
+        let u_worse =
+          List.length (List.filter (fun (u, l) -> u > l +. 1e-9) pairs)
+        in
+        let l_worse =
+          List.length (List.filter (fun (u, l) -> l > u +. 1e-9) pairs)
+        in
+        [ cfg.Config.abbrev;
+          Printf.sprintf "%.3f" (Stats.Descriptive.geomean ratios);
+          Printf.sprintf "%d" u_worse;
+          Printf.sprintf "%d" l_worse;
+          string_of_int (List.length pairs) ])
+      Config.all
+  in
+  Report.Table.print
+    ~title:
+      "Notion gap: unrolled (TP_U) vs. loop (TP_L) predictions per uarch \
+       (geomean of TP_U/TP_L; counts of blocks where each notion is slower)"
+    ~header:[ "uArch"; "geomean U/L"; "#U slower"; "#L slower"; "blocks" ]
+    rows

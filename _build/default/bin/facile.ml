@@ -1,0 +1,371 @@
+(* Command-line front end, the role facile.py plays for the original
+   tool: predict basic-block throughput, explain bottlenecks, sweep
+   microarchitectures, or run the reference pipeline simulator. *)
+
+open Cmdliner
+open Facile_x86
+open Facile_uarch
+open Facile_core
+
+let read_input = function
+  | Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None ->
+    let buf = Buffer.create 1024 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 1
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+
+let unhex s =
+  let clean =
+    String.to_seq s
+    |> Seq.filter (fun c ->
+           not (c = ' ' || c = '\n' || c = '\t' || c = '\r'))
+    |> String.of_seq
+  in
+  if String.length clean mod 2 <> 0 then
+    failwith "hex input must have an even number of digits";
+  String.init
+    (String.length clean / 2)
+    (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub clean (2 * i) 2)))
+
+let load_block cfg ~hex ~file =
+  if hex then Block.of_bytes cfg (unhex (read_input file))
+  else
+    match Asm.parse_block (read_input file) with
+    | Ok insts -> Block.of_instructions cfg insts
+    | Error m -> failwith ("cannot parse assembly: " ^ m)
+
+let mode_of_block block = function
+  | "loop" -> `Loop
+  | "unroll" -> `Unrolled
+  | "auto" -> if Block.ends_in_branch block then `Loop else `Unrolled
+  | m -> failwith ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)")
+
+let predict_block block mode =
+  match mode with
+  | `Loop -> Model.predict_l block
+  | `Unrolled -> Model.predict_u block
+
+let print_prediction cfg block mode =
+  let p = predict_block block mode in
+  Printf.printf "block: %d instructions, %d bytes, %d fused-domain uops\n"
+    (List.length block.Block.entries)
+    block.Block.len (Block.fused_uops block);
+  Printf.printf "uarch: %s (%s), mode: %s\n" cfg.Config.name cfg.Config.abbrev
+    (match mode with `Loop -> "loop (TP_L)" | `Unrolled -> "unrolled (TP_U)");
+  Printf.printf "predicted inverse throughput: %.2f cycles/iteration\n\n"
+    p.Model.cycles;
+  Printf.printf "component bounds:\n";
+  List.iter
+    (fun (c, v) ->
+      let tag = if List.mem c p.Model.bottlenecks then "  <- bottleneck" else "" in
+      Printf.printf "  %-11s %6.2f%s\n" (Model.component_name c) v tag)
+    p.Model.values;
+  p
+
+(* ----- predict ----- *)
+
+let arch_arg =
+  let doc = "Target microarchitecture (SNB, IVB, HSW, BDW, SKL, CLX, ICL, TGL, RKL)." in
+  Arg.(value & opt string "SKL" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let mode_arg =
+  let doc = "Throughput notion: loop (TP_L), unroll (TP_U), or auto." in
+  Arg.(value & opt string "auto" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let hex_arg =
+  let doc = "Treat the input as hex-encoded machine code instead of assembly." in
+  Arg.(value & flag & info [ "x"; "hex" ] ~doc)
+
+let file_arg =
+  let doc = "Input file (defaults to stdin)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let with_cfg arch f =
+  match Config.of_abbrev arch with
+  | Some cfg -> (try f cfg; 0 with Failure m -> prerr_endline ("error: " ^ m); 1)
+  | None -> prerr_endline ("unknown microarchitecture: " ^ arch); 1
+
+let predict_cmd =
+  let run arch mode hex file =
+    with_cfg arch (fun cfg ->
+        let block = load_block cfg ~hex ~file in
+        ignore (print_prediction cfg block (mode_of_block block mode)))
+  in
+  Cmd.v (Cmd.info "predict" ~doc:"Predict basic-block throughput.")
+    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ file_arg)
+
+(* ----- explain ----- *)
+
+let explain_cmd =
+  let run arch mode hex file =
+    with_cfg arch (fun cfg ->
+        let block = load_block cfg ~hex ~file in
+        let mode = mode_of_block block mode in
+        let p = print_prediction cfg block mode in
+        print_newline ();
+        if List.mem Model.Precedence p.Model.bottlenecks then begin
+          Printf.printf "critical dependency chain (instr:value:def/use):\n";
+          List.iter (Printf.printf "  %s\n") (Precedence.critical_chain block)
+        end;
+        if List.mem Model.Ports p.Model.bottlenecks then begin
+          match Ports.critical_combination block with
+          | Some (pc, n) ->
+            Printf.printf "critical port combination: %s (%d uops -> %.2f)\n"
+              (Port.to_string pc) n
+              (float_of_int n /. float_of_int (Port.cardinal pc))
+          | None -> ()
+        end;
+        (match mode with
+         | `Loop ->
+           Printf.printf "front-end path: %s\n"
+             (match p.Model.fe_path with
+              | Model.FE_decoders -> "legacy decoders (JCC erratum)"
+              | Model.FE_lsd -> "loop stream detector"
+              | Model.FE_dsb -> "decoded stream buffer"
+              | Model.FE_none -> "-")
+         | `Unrolled -> ());
+        Printf.printf "\ncounterfactual speedups (component made infinitely fast):\n";
+        List.iter
+          (fun c ->
+            Printf.printf "  %-11s %.2fx\n" (Model.component_name c)
+              (Model.speedup_idealizing block c))
+          Model.[ Predec; Dec; Issue; Ports; Precedence ])
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Predict and explain bottlenecks with interpretable feedback.")
+    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ file_arg)
+
+(* ----- sweep ----- *)
+
+let sweep_cmd =
+  let run mode hex file =
+    (try
+       (* read the input once: stdin cannot be re-read per µarch *)
+       let text = read_input file in
+       let build cfg =
+         if hex then Block.of_bytes cfg (unhex text)
+         else
+           match Asm.parse_block text with
+           | Ok insts -> Block.of_instructions cfg insts
+           | Error m -> failwith ("cannot parse assembly: " ^ m)
+       in
+       let blocks = List.map (fun cfg -> (cfg, build cfg)) Config.all in
+       Printf.printf "%-14s %6s  %-24s\n" "uArch" "cycles" "bottlenecks";
+       List.iter
+         (fun ((cfg : Config.t), block) ->
+           let p = predict_block block (mode_of_block block mode) in
+           Printf.printf "%-14s %6.2f  %s\n" cfg.Config.name p.Model.cycles
+             (String.concat "+"
+                (List.map Model.component_name p.Model.bottlenecks)))
+         blocks;
+       0
+     with Failure m -> prerr_endline ("error: " ^ m); 1)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Predict across all nine microarchitectures.")
+    Term.(const run $ mode_arg $ hex_arg $ file_arg)
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let run arch mode hex file =
+    with_cfg arch (fun cfg ->
+        let block = load_block cfg ~hex ~file in
+        let mode = mode_of_block block mode in
+        let p = predict_block block mode in
+        let hw =
+          Facile_sim.Sim.cycles_per_iteration ~fidelity:Facile_sim.Sim.Hardware
+            ~mode block
+        in
+        Printf.printf
+          "facile: %.2f cycles/iter; pipeline simulator: %.2f cycles/iter \
+           (%.1f%% difference)\n"
+          p.Model.cycles hw
+          (100.0 *. abs_float (hw -. p.Model.cycles) /. Float.max hw 1e-9))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compare the analytical prediction against the pipeline simulator.")
+    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ file_arg)
+
+(* ----- isa: dump the instruction database ----- *)
+
+let isa_cmd =
+  let run arch filter =
+    with_cfg arch (fun cfg ->
+        (* describe each distinct mnemonic once, on register operands *)
+        let rng = Facile_bhive.Prng.create 1 in
+        let seen = Hashtbl.create 128 in
+        let rows = ref [] in
+        List.iter
+          (fun profile ->
+            for _ = 1 to 3000 do
+              let i =
+                Facile_bhive.Genblock.random_inst rng profile ~allow_fma:true
+              in
+              let name = Inst.mnemonic_name i.Inst.mnem in
+              let mem = Inst.mem_operand i <> None in
+              let key = (name, mem) in
+              if
+                (not (Hashtbl.mem seen key))
+                && (filter = "" || name = String.lowercase_ascii filter)
+              then begin
+                match Facile_db.Db.describe cfg i with
+                | d ->
+                  Hashtbl.add seen key ();
+                  let ports =
+                    String.concat "+"
+                      (List.map
+                         (fun (u : Facile_db.Db.uop) ->
+                           Facile_uarch.Port.to_string u.Facile_db.Db.ports)
+                         d.Facile_db.Db.dispatched)
+                  in
+                  rows :=
+                    [ (if mem then name ^ " (mem)" else name);
+                      string_of_int d.Facile_db.Db.fused_uops;
+                      string_of_int d.Facile_db.Db.issued_uops;
+                      string_of_int d.Facile_db.Db.latency;
+                      (if d.Facile_db.Db.eliminated then "elim"
+                       else if ports = "" then "-"
+                       else ports);
+                      (if d.Facile_db.Db.macro_fusible then "yes" else "") ]
+                    :: !rows
+                | exception Facile_db.Db.Unsupported _ -> ()
+              end
+            done)
+          Facile_bhive.Genblock.all_profiles;
+        let rows = List.sort_uniq compare !rows in
+        Printf.printf
+          "Instruction characteristics on %s (register operand forms):\n\n"
+          cfg.Config.name;
+        print_endline
+          (Facile_report.Table.render
+             ~header:
+               [ "mnemonic"; "fused"; "issued"; "lat"; "ports"; "fuses" ]
+             rows))
+  in
+  let filter_arg =
+    let doc = "Only show this mnemonic." in
+    Arg.(value & opt string "" & info [ "f"; "filter" ] ~docv:"MNEMONIC" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "isa"
+       ~doc:"Dump the per-microarchitecture instruction database.")
+    Term.(const run $ arch_arg $ filter_arg)
+
+(* ----- region: weighted multi-block analysis ----- *)
+
+let region_cmd =
+  let run arch file =
+    with_cfg arch (fun cfg ->
+        (* input format: blocks separated by lines "== <weight>" *)
+        let text = read_input file in
+        let sections =
+          String.split_on_char '\n' text
+          |> List.fold_left
+               (fun acc line ->
+                 let t = String.trim line in
+                 if String.length t >= 2 && String.sub t 0 2 = "==" then
+                   let w =
+                     float_of_string
+                       (String.trim (String.sub t 2 (String.length t - 2)))
+                   in
+                   (w, Buffer.create 64) :: acc
+                 else begin
+                   (match acc with
+                    | (_, buf) :: _ ->
+                      Buffer.add_string buf line;
+                      Buffer.add_char buf '\n'
+                    | [] -> ());
+                   acc
+                 end)
+               []
+          |> List.rev
+        in
+        if sections = [] then
+          failwith "no blocks: separate blocks with '== <weight>' lines";
+        let region =
+          List.map
+            (fun (w, buf) ->
+              match Asm.parse_block (Buffer.contents buf) with
+              | Ok insts -> { Region.insts; weight = w }
+              | Error m -> failwith m)
+            sections
+        in
+        let r = Region.analyze cfg region in
+        Printf.printf
+          "region of %d blocks on %s:\n\
+          \  naive weighted sum:      %.2f cycles\n\
+          \  aggregated region bound: %.2f cycles\n\
+          \  bottleneck:              %s\n"
+          (List.length region) cfg.Config.name r.Region.naive r.Region.cycles
+          (Model.component_name r.Region.bottleneck);
+        List.iter
+          (fun (c, v) ->
+            Printf.printf "    %-11s %.2f\n" (Model.component_name c) v)
+          r.Region.component_values)
+  in
+  Cmd.v
+    (Cmd.info "region"
+       ~doc:
+         "Analyze a multi-block region with execution frequencies \
+          (blocks separated by '== <weight>' lines).")
+    Term.(const run $ arch_arg $ file_arg)
+
+(* ----- disasm: decode machine code with layout details ----- *)
+
+let disasm_cmd =
+  let run arch file =
+    with_cfg arch (fun cfg ->
+        let code = unhex (read_input file) in
+        let block = Block.of_bytes cfg code in
+        Printf.printf "%-6s %-4s %-22s %-40s %s\n" "off" "len" "bytes"
+          "instruction" "uops/lat";
+        List.iter
+          (fun (e : Block.entry) ->
+            let lay = e.Block.layout in
+            let bytes =
+              String.concat ""
+                (List.init lay.Encode.len (fun i ->
+                     Printf.sprintf "%02x"
+                       (Char.code code.[lay.Encode.off + i])))
+            in
+            let d = e.Block.desc in
+            Printf.printf "%-6d %-4d %-22s %-40s %d uop%s, lat %d%s%s%s\n"
+              lay.Encode.off lay.Encode.len bytes
+              (Inst.to_string e.Block.inst)
+              d.Facile_db.Db.fused_uops
+              (if d.Facile_db.Db.fused_uops = 1 then "" else "s")
+              d.Facile_db.Db.latency
+              (if lay.Encode.lcp then ", LCP" else "")
+              (if d.Facile_db.Db.eliminated then ", eliminated" else "")
+              (if e.Block.fuses_with_next then ", fuses with next" else ""))
+          block.Block.entries)
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble hex machine code with per-instruction layout and \
+             µop information.")
+    Term.(const run $ arch_arg $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "facile" ~version:"1.0"
+      ~doc:"Fast, accurate, and interpretable basic-block throughput prediction."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ predict_cmd; explain_cmd; sweep_cmd; simulate_cmd; isa_cmd;
+            region_cmd; disasm_cmd ]))

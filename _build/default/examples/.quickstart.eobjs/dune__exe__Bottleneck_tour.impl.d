@@ -1,0 +1,1 @@
+examples/bottleneck_tour.ml: Asm Block Config Facile_bhive Facile_core Facile_sim Facile_uarch Facile_x86 List Model Port Ports Precedence Printf String

@@ -1,0 +1,1 @@
+examples/bottleneck_tour.mli:

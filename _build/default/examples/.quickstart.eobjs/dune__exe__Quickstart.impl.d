@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Block Config Facile_core Facile_sim Facile_uarch Facile_x86 List Model Printf

@@ -1,0 +1,1 @@
+examples/superopt.ml: Array Asm Block Config Facile_bhive Facile_core Facile_sim Facile_uarch Facile_x86 List Model Printf Semantics String Sys

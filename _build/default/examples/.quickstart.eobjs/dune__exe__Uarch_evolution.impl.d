@@ -1,0 +1,1 @@
+examples/uarch_evolution.ml: Asm Block Config Facile_bhive Facile_core Facile_uarch Facile_x86 List Model Printf String

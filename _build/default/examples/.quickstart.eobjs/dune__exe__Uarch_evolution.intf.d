@@ -1,0 +1,1 @@
+examples/uarch_evolution.mli:

@@ -1,0 +1,1 @@
+examples/unroll_sweep.mli:

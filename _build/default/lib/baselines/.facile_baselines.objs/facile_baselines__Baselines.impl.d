@@ -1,0 +1,1 @@
+lib/baselines/baselines.ml: Array Block Config Db Encode Facile_core Facile_db Facile_uarch Facile_x86 Float Hashtbl Inst Linalg List Port Ports Precedence

@@ -1,0 +1,1 @@
+lib/baselines/linalg.ml: Array List

@@ -1,0 +1,67 @@
+let dot a b =
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let solve a b =
+  let n = Array.length b in
+  let m = Array.map Array.copy a in
+  let v = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let piv = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float m.(row).(col) > abs_float m.(!piv).(col) then piv := row
+    done;
+    if abs_float m.(!piv).(col) < 1e-12 then
+      failwith "Linalg.solve: singular matrix";
+    if !piv <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!piv);
+      m.(!piv) <- tmp;
+      let tv = v.(col) in
+      v.(col) <- v.(!piv);
+      v.(!piv) <- tv
+    end;
+    for row = col + 1 to n - 1 do
+      let f = m.(row).(col) /. m.(col).(col) in
+      if f <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (f *. m.(col).(k))
+        done;
+        v.(row) <- v.(row) -. (f *. v.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref v.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. m.(row).(row)
+  done;
+  x
+
+let ridge_fit ~lambda xs ys =
+  match xs with
+  | [] -> invalid_arg "Linalg.ridge_fit: no samples"
+  | first :: _ ->
+    let d = Array.length first in
+    let xtx = Array.make_matrix d d 0.0 in
+    let xty = Array.make d 0.0 in
+    List.iter2
+      (fun x y ->
+        for i = 0 to d - 1 do
+          xty.(i) <- xty.(i) +. (x.(i) *. y);
+          for j = 0 to d - 1 do
+            xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+          done
+        done)
+      xs ys;
+    for i = 0 to d - 1 do
+      xtx.(i).(i) <- xtx.(i).(i) +. lambda
+    done;
+    solve xtx xty

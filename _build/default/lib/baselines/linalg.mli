@@ -1,0 +1,15 @@
+(** Minimal dense linear algebra for the learned baseline: a ridge
+    least-squares fit via the normal equations, solved by Gaussian
+    elimination with partial pivoting. *)
+
+(** [solve a b] solves [a x = b] for a square matrix [a] (destructive on
+    copies; inputs are not modified).
+    @raise Failure on (numerically) singular systems. *)
+val solve : float array array -> float array -> float array
+
+(** [ridge_fit ~lambda xs ys] returns coefficients [w] minimizing
+    [sum (w . x - y)^2 + lambda |w|^2]. Each row of [xs] is one sample's
+    feature vector (include a constant-1 feature for an intercept). *)
+val ridge_fit : lambda:float -> float array list -> float list -> float array
+
+val dot : float array -> float array -> float

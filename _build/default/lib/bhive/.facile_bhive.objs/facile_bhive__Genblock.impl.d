@@ -1,0 +1,1 @@
+lib/bhive/genblock.ml: Facile_x86 Inst Int64 List Operand Prng Register String

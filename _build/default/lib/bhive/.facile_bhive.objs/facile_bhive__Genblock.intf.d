@@ -1,0 +1,1 @@
+lib/bhive/genblock.mli: Facile_x86 Inst Prng

@@ -1,0 +1,1 @@
+lib/bhive/prng.ml: Int64 List

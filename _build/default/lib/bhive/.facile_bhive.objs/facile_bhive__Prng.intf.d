@@ -1,0 +1,1 @@
+lib/bhive/prng.mli:

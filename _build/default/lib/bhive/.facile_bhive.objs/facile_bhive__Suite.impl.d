@@ -1,0 +1,1 @@
+lib/bhive/suite.ml: Array Facile_x86 Genblock Inst List Prng Sys

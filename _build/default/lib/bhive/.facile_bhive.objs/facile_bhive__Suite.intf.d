@@ -1,0 +1,1 @@
+lib/bhive/suite.mli: Facile_x86 Genblock Inst

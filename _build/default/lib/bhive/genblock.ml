@@ -1,0 +1,480 @@
+open Facile_x86
+
+type profile =
+  | Int_alu
+  | Fp_vector
+  | Dep_chain
+  | Load_store
+  | Decode_heavy
+  | Lcp_heavy
+  | Hash_crypto
+  | Mixed
+
+let all_profiles =
+  [ Int_alu; Fp_vector; Dep_chain; Load_store; Decode_heavy; Lcp_heavy;
+    Hash_crypto; Mixed ]
+
+let profile_name = function
+  | Int_alu -> "int-alu"
+  | Fp_vector -> "fp-vector"
+  | Dep_chain -> "dep-chain"
+  | Load_store -> "load-store"
+  | Decode_heavy -> "decode-heavy"
+  | Lcp_heavy -> "lcp-heavy"
+  | Hash_crypto -> "hash-crypto"
+  | Mixed -> "mixed"
+
+(* ------------------------------------------------------------------ *)
+(* Operand pools                                                       *)
+
+let gpr_pool =
+  Register.
+    [ RAX; RBX; RCX; RDX; RSI; RDI; R8; R9; R10; R11; R12; R13; R14 ]
+
+let byte_pool = Register.[ RAX; RBX; RCX; RDX ]
+
+let r64 rng = Register.Gpr (Register.W64, Prng.choose rng gpr_pool)
+let r32 rng = Register.Gpr (Register.W32, Prng.choose rng gpr_pool)
+let r16 rng = Register.Gpr (Register.W16, Prng.choose rng gpr_pool)
+let r8 rng = Register.Gpr (Register.W8, Prng.choose rng byte_pool)
+let xmm rng = Register.Xmm (Prng.int rng 16)
+let ymm rng = Register.Ymm (Prng.int rng 16)
+
+let rw rng = if Prng.bool rng then r64 rng else r32 rng
+
+(* Two general-purpose registers of the same (random) width. *)
+let rr_pair rng =
+  let w = if Prng.bool rng then Register.W64 else Register.W32 in
+  ( Register.Gpr (w, Prng.choose rng gpr_pool),
+    Register.Gpr (w, Prng.choose rng gpr_pool) )
+
+let small_imm rng = Operand.imm (Prng.range rng 1 127)
+let med_imm rng = Operand.imm (Prng.choose rng [ 200; 1000; 4096; 65537; 1 lsl 20 ])
+let imm16 rng = Operand.imm (Prng.choose rng [ 0x1234; 300; 1000; 32000; -300 ])
+
+let disp rng = Prng.choose rng [ 0; 0; 4; 8; 16; 24; 64; 128; 1024; -8 ]
+
+let mem rng ~width =
+  let base = Prng.choose rng gpr_pool in
+  let index =
+    if Prng.chance rng 0.4 then
+      let idx = Prng.choose rng gpr_pool in
+      let scale = Prng.choose rng Operand.[ S1; S2; S4; S8 ] in
+      Some (idx, scale)
+    else None
+  in
+  Operand.mem ~base ?index ~disp:(disp rng) ~width ()
+
+let width_of_reg = function
+  | Register.Gpr (w, _) -> Register.width_bytes w
+  | Register.Xmm _ -> 16
+  | Register.Ymm _ -> 32
+
+(* ------------------------------------------------------------------ *)
+(* Instruction builders                                                *)
+
+let alu_mnems = Inst.[ ADD; SUB; AND; OR; XOR; CMP ]
+
+let mk = Inst.make
+
+let alu_rr rng =
+  let d = rw rng in
+  let s = Register.Gpr ((match d with Register.Gpr (w, _) -> w | _ -> Register.W64),
+                        Prng.choose rng gpr_pool) in
+  mk (Prng.choose rng alu_mnems) [ Operand.Reg d; Operand.Reg s ]
+
+let alu_ri rng =
+  let d = rw rng in
+  let i = if Prng.chance rng 0.7 then small_imm rng else med_imm rng in
+  mk (Prng.choose rng alu_mnems) [ Operand.Reg d; i ]
+
+let alu_rm rng =
+  let d = rw rng in
+  mk (Prng.choose rng alu_mnems)
+    [ Operand.Reg d; mem rng ~width:(width_of_reg d) ]
+
+let alu_mr rng =
+  let s = rw rng in
+  mk (Prng.choose rng Inst.[ ADD; SUB; AND; OR; XOR ])
+    [ mem rng ~width:(width_of_reg s); Operand.Reg s ]
+
+let mov_rr rng =
+  let d = rw rng in
+  let s = Register.Gpr ((match d with Register.Gpr (w, _) -> w | _ -> Register.W64),
+                        Prng.choose rng gpr_pool) in
+  mk Inst.MOV [ Operand.Reg d; Operand.Reg s ]
+
+let mov_ri rng = mk Inst.MOV [ Operand.Reg (rw rng); med_imm rng ]
+let mov_r64_big rng =
+  mk Inst.MOV
+    [ Operand.Reg (r64 rng); Operand.Imm 0x1122334455667788L ]
+
+let mov_load rng =
+  let d = rw rng in
+  mk Inst.MOV [ Operand.Reg d; mem rng ~width:(width_of_reg d) ]
+
+let mov_store rng =
+  let s = rw rng in
+  mk Inst.MOV [ mem rng ~width:(width_of_reg s); Operand.Reg s ]
+
+let lea2 rng =
+  let base = Prng.choose rng gpr_pool in
+  mk Inst.LEA
+    [ Operand.Reg (r64 rng); Operand.mem ~base ~disp:(disp rng) ~width:8 () ]
+
+let lea3 rng =
+  let base = Prng.choose rng gpr_pool in
+  let idx = Prng.choose rng gpr_pool in
+  mk Inst.LEA
+    [ Operand.Reg (r64 rng);
+      Operand.mem ~base ~index:(idx, Operand.S4) ~disp:8 ~width:8 () ]
+
+let shift_imm rng =
+  mk (Prng.choose rng Inst.[ SHL; SHR; SAR; ROL; ROR ])
+    [ Operand.Reg (rw rng); Operand.imm (Prng.range rng 1 31) ]
+
+let shift_cl rng =
+  mk (Prng.choose rng Inst.[ SHL; SHR; SAR ])
+    [ Operand.Reg (rw rng);
+      Operand.Reg (Register.Gpr (Register.W8, Register.RCX)) ]
+
+let imul_rr rng =
+  let d, s = rr_pair rng in
+  mk Inst.IMUL [ Operand.Reg d; Operand.Reg s ]
+
+let imul_rri rng =
+  let d = rw rng in
+  let s = Register.Gpr ((match d with Register.Gpr (w, _) -> w | _ -> Register.W64),
+                        Prng.choose rng gpr_pool) in
+  mk Inst.IMUL [ Operand.Reg d; Operand.Reg s; med_imm rng ]
+
+let movzx rng =
+  let src = if Prng.bool rng then Operand.Reg (r8 rng)
+            else Operand.Reg (r16 rng) in
+  mk (Prng.choose rng Inst.[ MOVZX; MOVSX ]) [ Operand.Reg (r32 rng); src ]
+
+let movzx_mem rng =
+  mk Inst.MOVZX
+    [ Operand.Reg (r32 rng); mem rng ~width:(if Prng.bool rng then 1 else 2) ]
+
+let test_rr rng =
+  let d = rw rng in
+  let s = Register.Gpr ((match d with Register.Gpr (w, _) -> w | _ -> Register.W64),
+                        Prng.choose rng gpr_pool) in
+  mk Inst.TEST [ Operand.Reg d; Operand.Reg s ]
+
+let cmov rng =
+  let d = rw rng in
+  let s = Register.Gpr ((match d with Register.Gpr (w, _) -> w | _ -> Register.W64),
+                        Prng.choose rng gpr_pool) in
+  mk (Inst.CMOVcc (Inst.cond_of_code (Prng.int rng 16)))
+    [ Operand.Reg d; Operand.Reg s ]
+
+let setcc rng =
+  mk (Inst.SETcc (Inst.cond_of_code (Prng.int rng 16))) [ Operand.Reg (r8 rng) ]
+
+let incdec rng =
+  mk (if Prng.bool rng then Inst.INC else Inst.DEC) [ Operand.Reg (rw rng) ]
+
+let bit_count rng =
+  let d, s = rr_pair rng in
+  mk (Prng.choose rng Inst.[ POPCNT; LZCNT; TZCNT; BSF; BSR ])
+    [ Operand.Reg d; Operand.Reg s ]
+
+let xchg_rr rng =
+  let d, s = rr_pair rng in
+  mk Inst.XCHG [ Operand.Reg d; Operand.Reg s ]
+
+let adc_sbb rng =
+  let d, s = rr_pair rng in
+  mk (if Prng.bool rng then Inst.ADC else Inst.SBB)
+    [ Operand.Reg d; Operand.Reg s ]
+
+let bswap rng =
+  mk Inst.BSWAP [ Operand.Reg (if Prng.bool rng then r64 rng else r32 rng) ]
+
+let mul_div rng =
+  mk (Prng.choose rng Inst.[ MUL; DIV; IDIV ]) [ Operand.Reg (r32 rng) ]
+
+let nopl rng =
+  mk Inst.NOPL [ mem rng ~width:(if Prng.bool rng then 2 else 4) ]
+
+(* ----- SSE / AVX ----- *)
+
+let sse_arith_pp rng =
+  mk (Prng.choose rng
+        Inst.[ ADDPS; SUBPS; MULPS; MINPS; MAXPS; ADDPD; SUBPD; MULPD ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_arith_scalar rng =
+  mk (Prng.choose rng
+        Inst.[ ADDSS; SUBSS; MULSS; ADDSD; SUBSD; MULSD ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_arith_mem rng =
+  let m = Prng.choose rng Inst.[ ADDPS, 16; MULPD, 16; ADDSD, 8; MULSS, 4 ] in
+  mk (fst m) [ Operand.Reg (xmm rng); mem rng ~width:(snd m) ]
+
+let sse_logic rng =
+  mk (Prng.choose rng Inst.[ ANDPS; ORPS; XORPS; PXOR; POR; PAND ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_int rng =
+  mk (Prng.choose rng Inst.[ PADDB; PADDD; PADDQ; PSUBD; PMULUDQ; PUNPCKLDQ ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let pmulld rng =
+  mk Inst.PMULLD [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let shuffle rng =
+  mk Inst.PSHUFD
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng);
+      Operand.imm (Prng.int rng 256) ]
+
+let vec_shift rng =
+  mk (if Prng.bool rng then Inst.PSLLD else Inst.PSRLD)
+    [ Operand.Reg (xmm rng); Operand.imm (Prng.range rng 1 31) ]
+
+let sse_mov rng =
+  let load = Prng.bool rng in
+  let mn = Prng.choose rng Inst.[ MOVAPS, 16; MOVUPS, 16; MOVSD, 8; MOVSS, 4 ] in
+  if load then mk (fst mn) [ Operand.Reg (xmm rng); mem rng ~width:(snd mn) ]
+  else mk (fst mn) [ mem rng ~width:(snd mn); Operand.Reg (xmm rng) ]
+
+let sse_mov_rr rng =
+  mk (Prng.choose rng Inst.[ MOVAPS; MOVUPS; MOVSD ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let cvt rng =
+  match Prng.int rng 4 with
+  | 0 -> mk Inst.CVTSI2SD [ Operand.Reg (xmm rng); Operand.Reg (rw rng) ]
+  | 1 -> mk Inst.CVTSI2SS [ Operand.Reg (xmm rng); Operand.Reg (r32 rng) ]
+  | 2 -> mk Inst.CVTTSD2SI [ Operand.Reg (rw rng); Operand.Reg (xmm rng) ]
+  | _ -> mk Inst.CVTSS2SD [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let fp_div_sqrt rng =
+  mk (Prng.choose rng Inst.[ DIVPS; DIVSS; DIVSD; SQRTPS; SQRTSS; SQRTSD ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let ucomis rng =
+  mk (if Prng.bool rng then Inst.UCOMISS else Inst.UCOMISD)
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let avx1 rng =
+  let r = if Prng.chance rng 0.5 then ymm else xmm in
+  mk (Prng.choose rng Inst.[ VADDPS; VSUBPS; VMULPS; VXORPS; VANDPS ])
+    [ Operand.Reg (r rng); Operand.Reg (r rng); Operand.Reg (r rng) ]
+
+let fma rng =
+  let r = if Prng.chance rng 0.5 then ymm else xmm in
+  let packed = Prng.bool rng in
+  if packed then
+    mk (if Prng.bool rng then Inst.VFMADD231PS else Inst.VFMADD231PD)
+      [ Operand.Reg (r rng); Operand.Reg (r rng); Operand.Reg (r rng) ]
+  else
+    mk (if Prng.bool rng then Inst.VFMADD231SS else Inst.VFMADD231SD)
+      [ Operand.Reg (xmm rng); Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let movd rng =
+  if Prng.bool rng then
+    mk Inst.MOVD [ Operand.Reg (xmm rng); Operand.Reg (r32 rng) ]
+  else mk Inst.MOVQ [ Operand.Reg (xmm rng); Operand.Reg (r64 rng) ]
+
+let bt_family rng =
+  let d, s = rr_pair rng in
+  if Prng.bool rng then
+    mk (Prng.choose rng Inst.[ BT; BTS; BTR; BTC ])
+      [ Operand.Reg d; Operand.Reg s ]
+  else
+    mk (Prng.choose rng Inst.[ BT; BTS; BTR; BTC ])
+      [ Operand.Reg d; Operand.imm (Prng.range rng 0 31) ]
+
+let shld rng =
+  let d, s = rr_pair rng in
+  mk (if Prng.bool rng then Inst.SHLD else Inst.SHRD)
+    [ Operand.Reg d; Operand.Reg s; Operand.imm (Prng.range rng 1 31) ]
+
+let movbe rng =
+  let r = rw rng in
+  if Prng.bool rng then
+    mk Inst.MOVBE [ Operand.Reg r; mem rng ~width:(width_of_reg r) ]
+  else mk Inst.MOVBE [ mem rng ~width:(width_of_reg r); Operand.Reg r ]
+
+let flag_op rng =
+  mk (Prng.choose rng Inst.[ CLC; STC; CMC ]) []
+
+let widen_rax rng =
+  mk (Prng.choose rng Inst.[ CWDE; CDQE; CDQ; CQO ]) []
+
+let bmi rng =
+  let w = if Prng.bool rng then Register.W64 else Register.W32 in
+  let r () = Register.Gpr (w, Prng.choose rng gpr_pool) in
+  mk (Prng.choose rng Inst.[ ANDN; BZHI; SHLX; SHRX; SARX ])
+    [ Operand.Reg (r ()); Operand.Reg (r ()); Operand.Reg (r ()) ]
+
+let sse_cmp rng =
+  mk (Prng.choose rng
+        Inst.[ PCMPEQB; PCMPEQD; PCMPGTD; PMAXSD; PMINSD; PMAXUB; PMINUB ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_shuffle2 rng =
+  match Prng.int rng 5 with
+  | 0 ->
+    mk Inst.PSHUFB [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+  | 1 ->
+    mk Inst.PALIGNR
+      [ Operand.Reg (xmm rng); Operand.Reg (xmm rng);
+        Operand.imm (Prng.range rng 0 15) ]
+  | 2 ->
+    mk Inst.SHUFPS
+      [ Operand.Reg (xmm rng); Operand.Reg (xmm rng);
+        Operand.imm (Prng.int rng 256) ]
+  | 3 -> mk Inst.PACKSSDW [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+  | _ ->
+    mk (if Prng.bool rng then Inst.UNPCKHPS else Inst.UNPCKLPD)
+      [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_bytes_shift rng =
+  mk (if Prng.bool rng then Inst.PSLLDQ else Inst.PSRLDQ)
+    [ Operand.Reg (xmm rng); Operand.imm (Prng.range rng 1 15) ]
+
+let sse_minmax rng =
+  mk (Prng.choose rng
+        Inst.[ MINPD; MAXPD; MINSS; MAXSS; MINSD; MAXSD ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let haddps rng =
+  mk Inst.HADDPS [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let roundsd rng =
+  mk Inst.ROUNDSD
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng);
+      Operand.imm (Prng.range rng 0 3) ]
+
+let cvt_packed rng =
+  mk (Prng.choose rng Inst.[ CVTDQ2PS; CVTPS2DQ; CVTTPS2DQ ])
+    [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+
+let sse_mov_dq rng =
+  let mn = if Prng.bool rng then Inst.MOVDQA else Inst.MOVDQU in
+  match Prng.int rng 3 with
+  | 0 -> mk mn [ Operand.Reg (xmm rng); Operand.Reg (xmm rng) ]
+  | 1 -> mk mn [ Operand.Reg (xmm rng); mem rng ~width:16 ]
+  | _ -> mk mn [ mem rng ~width:16; Operand.Reg (xmm rng) ]
+
+let avx_mov rng =
+  let r = if Prng.bool rng then ymm else xmm in
+  mk (if Prng.bool rng then Inst.VMOVDQA else Inst.VMOVDQU)
+    [ Operand.Reg (r rng); Operand.Reg (r rng) ]
+
+let fma_variants rng =
+  let r = if Prng.chance rng 0.5 then ymm else xmm in
+  mk (Prng.choose rng Inst.[ VFMADD132PS; VFMADD213PS; VFMADD231PS ])
+    [ Operand.Reg (r rng); Operand.Reg (r rng); Operand.Reg (r rng) ]
+
+(* ----- LCP ----- *)
+
+let lcp_inst rng =
+  match Prng.int rng 4 with
+  | 0 -> mk Inst.MOV [ Operand.Reg (r16 rng); imm16 rng ]
+  | 1 ->
+    mk (Prng.choose rng Inst.[ ADD; SUB; AND; CMP ])
+      [ Operand.Reg (r16 rng); imm16 rng ]
+  | 2 -> mk Inst.IMUL [ Operand.Reg (r16 rng); Operand.Reg (r16 rng); imm16 rng ]
+  | _ -> mk Inst.TEST [ Operand.Reg (r16 rng); imm16 rng ]
+
+let alu_r16 rng =
+  mk (Prng.choose rng alu_mnems) [ Operand.Reg (r16 rng); Operand.Reg (r16 rng) ]
+
+(* ------------------------------------------------------------------ *)
+(* Profile menus                                                       *)
+
+let menu profile ~allow_fma =
+  match profile with
+  | Int_alu ->
+    [ 20, alu_rr; 14, alu_ri; 6, mov_rr; 10, mov_ri; 8, lea2; 4, lea3;
+      6, shift_imm; 2, imul_rr; 5, imul_rri; 5, movzx; 5, test_rr;
+      5, cmov; 3, setcc; 5, incdec; 4, bit_count; 3, alu_rm; 1, bswap;
+      3, bt_family; 1, flag_op; 1, widen_rax ]
+  | Fp_vector ->
+    [ 18, sse_arith_pp; 10, sse_arith_scalar; 10, sse_logic; 7, sse_int;
+      9, shuffle; 8, sse_mov; 4, sse_mov_rr; 4, sse_arith_mem; 4, cvt;
+      2, fp_div_sqrt; 2, ucomis; 5, avx1; 2, movd; 4, vec_shift;
+      2, pmulld; 5, sse_cmp; 5, sse_shuffle2; 3, sse_minmax;
+      3, sse_mov_dq; 2, cvt_packed; 1, roundsd; 1, sse_bytes_shift ]
+    @ (if allow_fma then [ 6, fma; 3, fma_variants; 2, avx_mov ] else [])
+  | Dep_chain -> [ 1, alu_rr ] (* handled specially in [body] *)
+  | Load_store ->
+    [ 15, mov_load; 12, mov_store; 8, alu_rm; 6, alu_mr; 6, movzx_mem;
+      8, sse_mov; 6, lea2; 6, alu_rr; 4, mov_rr; 3, sse_arith_mem;
+      3, sse_mov_dq ]
+    @ (if allow_fma then [ 3, movbe ] else [])
+  | Decode_heavy ->
+    [ 10, cvt; 8, xchg_rr; 8, shift_cl; 8, adc_sbb; 6, pmulld;
+      5, fp_div_sqrt; 4, bswap; 3, mul_div; 8, alu_mr; 8, alu_rr;
+      4, sse_mov; 4, nopl; 5, haddps; 4, shld ]
+  | Lcp_heavy ->
+    [ 16, lcp_inst; 8, alu_r16; 10, alu_rr; 6, mov_ri; 4, movzx;
+      4, lea2; 3, mov_r64_big; 4, shift_imm ]
+  | Hash_crypto ->
+    [ 12, shift_imm; 10, alu_rr; 4, imul_rr; 4, imul_rri; 6, bswap;
+      6, movzx; 6, alu_ri; 5, bit_count; 5, sse_logic; 4, sse_int;
+      3, shift_cl; 2, pmulld; 4, mov_ri; 3, shld; 3, bt_family;
+      3, sse_shuffle2 ]
+    @ (if allow_fma then [ 4, bmi ] else [])
+  | Mixed ->
+    [ 12, alu_rr; 8, alu_ri; 5, mov_rr; 5, lea2; 4, shift_imm;
+      4, imul_rr; 4, movzx; 4, cmov; 4, sse_arith_pp; 4, sse_logic;
+      4, mov_load; 4, mov_store; 3, alu_rm; 3, cvt; 2, lcp_inst;
+      2, fp_div_sqrt; 2, setcc; 2, test_rr; 2, incdec; 1, xchg_rr;
+      1, avx1; 2, sse_cmp; 2, sse_shuffle2; 2, bt_family; 1, sse_minmax;
+      1, sse_mov_dq; 1, flag_op ]
+
+let random_inst rng profile ~allow_fma =
+  match profile with
+  | Dep_chain ->
+    (* stateless fallback; real chains are built in [body] *)
+    alu_rr rng
+  | _ -> (Prng.weighted rng (menu profile ~allow_fma)) rng
+
+(* A loop-carried chain: every instruction accumulates into one
+   register, giving a cross-iteration dependency cycle. *)
+let dep_chain_body rng ~len =
+  if Prng.bool rng then begin
+    (* integer chain *)
+    let acc = Register.Gpr (Register.W64, Prng.choose rng gpr_pool) in
+    List.init len (fun _ ->
+        match Prng.int rng 5 with
+        | 0 -> mk Inst.ADD [ Operand.Reg acc; Operand.Reg (r64 rng) ]
+        | 1 -> mk Inst.IMUL [ Operand.Reg acc; Operand.Reg (r64 rng) ]
+        | 2 ->
+          let base = (match acc with Register.Gpr (_, g) -> g | _ -> Register.RAX) in
+          mk Inst.LEA
+            [ Operand.Reg acc; Operand.mem ~base ~disp:8 ~width:8 () ]
+        | 3 -> mk Inst.ADD [ Operand.Reg acc; mem rng ~width:8 ]
+        | _ -> mk Inst.XOR [ Operand.Reg acc; Operand.Reg (r64 rng) ])
+  end
+  else begin
+    (* floating-point chain *)
+    let acc = Register.Xmm (Prng.int rng 8) in
+    List.init len (fun _ ->
+        match Prng.int rng 4 with
+        | 0 -> mk Inst.ADDSD [ Operand.Reg acc; Operand.Reg (xmm rng) ]
+        | 1 -> mk Inst.MULSD [ Operand.Reg acc; Operand.Reg (xmm rng) ]
+        | 2 -> mk Inst.ADDSD [ Operand.Reg acc; mem rng ~width:8 ]
+        | _ -> mk Inst.ADDPD [ Operand.Reg acc; Operand.Reg (xmm rng) ])
+  end
+
+let body rng profile ~allow_fma ~len =
+  match profile with
+  | Dep_chain -> dep_chain_body rng ~len
+  | _ -> List.init len (fun _ -> random_inst rng profile ~allow_fma)
+
+let looped insts =
+  let bytes, _ = Facile_x86.Encode.encode_block insts in
+  let body_len = String.length bytes in
+  let disp8 = -(body_len + 2) in
+  let disp =
+    if Operand.fits_i8 (Int64.of_int disp8) then disp8 else -(body_len + 6)
+  in
+  insts @ [ mk (Inst.Jcc Inst.NE) [ Operand.imm disp ] ]

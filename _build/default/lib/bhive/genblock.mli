@@ -1,0 +1,36 @@
+(** Synthetic basic-block generator — the BHive-suite substitute.
+
+    Generates valid, encodable, DB-supported instruction sequences from
+    domain profiles chosen to span the same bottleneck diversity as the
+    BHive applications (numerical kernels, integer/compiler code,
+    pointer chasing, byte/string manipulation, hashing, front-end
+    stress). By default blocks avoid FMA and 256-bit integer AVX so that
+    every block runs on every evaluated microarchitecture. *)
+
+open Facile_x86
+
+type profile =
+  | Int_alu        (** compiler-style integer code *)
+  | Fp_vector      (** SSE/AVX numerical kernels *)
+  | Dep_chain      (** long loop-carried dependency chains *)
+  | Load_store     (** memory-traffic heavy *)
+  | Decode_heavy   (** multi-µop instructions stressing the decoders *)
+  | Lcp_heavy      (** 16-bit immediates (length-changing prefixes) *)
+  | Hash_crypto    (** rotate/xor/multiply mixing *)
+  | Mixed
+
+val all_profiles : profile list
+val profile_name : profile -> string
+
+(** [random_inst rng profile ~allow_fma] draws one instruction. *)
+val random_inst : Prng.t -> profile -> allow_fma:bool -> Inst.t
+
+(** [body rng profile ~allow_fma ~len] draws a straight-line block of
+    [len] instructions (no trailing branch). All results encode and are
+    supported by the DB on every µarch (modulo [allow_fma]). *)
+val body : Prng.t -> profile -> allow_fma:bool -> len:int -> Inst.t list
+
+(** [looped insts] appends the back-edge conditional branch (JNZ to the
+    block start, with the displacement computed from the encoded body
+    length) — the BHive_L variant of a block. *)
+val looped : Inst.t list -> Inst.t list

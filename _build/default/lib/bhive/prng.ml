@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  { state = Int64.logxor (Int64.of_int seed) 0x9E3779B97F4A7C15L }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Prng.range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose"
+  | l -> List.nth l (int t (List.length l))
+
+let weighted t l =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 l in
+  if total <= 0 then invalid_arg "Prng.weighted";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Prng.weighted"
+    | (w, x) :: rest -> if k < w then x else pick (k - w) rest
+  in
+  pick k l

@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random number generator (splitmix64), so the
+    synthetic corpus is reproducible across runs and platforms. *)
+
+type t
+
+val create : int -> t
+
+(** Raw 64-bit step. *)
+val next : t -> int64
+
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** [chance t p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+(** [choose t l] picks a uniform element. @raise Invalid_argument on
+    the empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** [weighted t l] picks an element with probability proportional to
+    its weight. *)
+val weighted : t -> (int * 'a) list -> 'a

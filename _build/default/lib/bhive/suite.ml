@@ -1,0 +1,31 @@
+open Facile_x86
+
+type case = {
+  id : int;
+  profile : Genblock.profile;
+  body : Inst.t list;
+  loop : Inst.t list;
+}
+
+(* Profile mix: front-end/back-end-diverse profiles dominate; pure
+   dependency chains are rare, as in compiler-generated code. *)
+let profile_mix =
+  Genblock.
+    [ Int_alu; Fp_vector; Load_store; Mixed;
+      Int_alu; Decode_heavy; Lcp_heavy; Hash_crypto;
+      Fp_vector; Mixed; Dep_chain; Int_alu;
+      Load_store; Mixed; Fp_vector; Hash_crypto ]
+
+let corpus ?(max_len = 16) ?(allow_fma = false) ~seed ~size () =
+  let rng = Prng.create seed in
+  let profiles = Array.of_list profile_mix in
+  List.init size (fun id ->
+      let profile = profiles.(id mod Array.length profiles) in
+      let len = Prng.range rng 1 max_len in
+      let body = Genblock.body rng profile ~allow_fma ~len in
+      { id; profile; body; loop = Genblock.looped body })
+
+let default_size () =
+  match Sys.getenv_opt "FACILE_CORPUS_SIZE" with
+  | Some s -> (match int_of_string_opt s with Some n when n > 0 -> n | _ -> 500)
+  | None -> 500

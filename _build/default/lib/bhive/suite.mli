@@ -1,0 +1,23 @@
+(** The evaluation corpus: a deterministic set of synthetic basic
+    blocks, each available in the BHive_U (straight-line) and BHive_L
+    (branch-terminated) variants, mirroring the modified BHive suite
+    used by the paper (§6.1). *)
+
+open Facile_x86
+
+type case = {
+  id : int;
+  profile : Genblock.profile;
+  body : Inst.t list;   (** straight-line BHive_U variant *)
+  loop : Inst.t list;   (** branch-terminated BHive_L variant *)
+}
+
+(** [corpus ~seed ~size ()] generates [size] cases deterministically.
+    Blocks have 1 to [max_len] instructions (default 16), drawn evenly
+    from all profiles. FMA is excluded by default so every block runs
+    on every µarch. *)
+val corpus :
+  ?max_len:int -> ?allow_fma:bool -> seed:int -> size:int -> unit -> case list
+
+(** [default_size ()] reads [FACILE_CORPUS_SIZE] (default 500). *)
+val default_size : unit -> int

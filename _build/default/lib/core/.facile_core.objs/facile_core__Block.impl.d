@@ -1,0 +1,1 @@
+lib/core/block.ml: Config Db Decode Encode Facile_db Facile_uarch Facile_x86 Inst List Semantics String

@@ -1,0 +1,1 @@
+lib/core/block.mli: Config Db Encode Facile_db Facile_uarch Facile_x86 Inst Semantics

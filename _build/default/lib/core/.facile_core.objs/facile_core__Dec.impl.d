@@ -1,0 +1,1 @@
+lib/core/dec.ml: Array Block Config Facile_uarch Float List

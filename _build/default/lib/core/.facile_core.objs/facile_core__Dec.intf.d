@@ -1,0 +1,1 @@
+lib/core/dec.mli: Block

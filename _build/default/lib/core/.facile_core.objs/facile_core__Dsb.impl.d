@@ -1,0 +1,1 @@
+lib/core/dsb.ml: Block Config Facile_uarch

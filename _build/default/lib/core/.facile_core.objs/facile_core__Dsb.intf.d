@@ -1,0 +1,1 @@
+lib/core/dsb.mli: Block

@@ -1,0 +1,1 @@
+lib/core/issue.ml: Block Config Facile_uarch

@@ -1,0 +1,1 @@
+lib/core/issue.mli: Block

@@ -1,0 +1,1 @@
+lib/core/lsd.ml: Block Config Facile_uarch

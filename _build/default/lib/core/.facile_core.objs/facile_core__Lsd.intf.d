@@ -1,0 +1,1 @@
+lib/core/lsd.mli: Block

@@ -1,0 +1,1 @@
+lib/core/model.ml: Block Config Dec Dsb Facile_uarch Float Issue List Lsd Ports Precedence Predec

@@ -1,0 +1,1 @@
+lib/core/ports.ml: Block Facile_db Facile_uarch List Port

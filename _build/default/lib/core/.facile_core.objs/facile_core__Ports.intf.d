@@ -1,0 +1,1 @@
+lib/core/ports.mli: Block Facile_uarch Port

@@ -1,0 +1,1 @@
+lib/core/precedence.ml: Array Block Cycle_ratio Digraph Facile_graph Facile_uarch Facile_x86 Hashtbl Inst List Operand Printf Register Semantics

@@ -1,0 +1,1 @@
+lib/core/precedence.mli: Block Facile_graph Facile_x86 Semantics

@@ -1,0 +1,1 @@
+lib/core/predec.ml: Array Block Encode Facile_uarch Facile_x86 List

@@ -1,0 +1,1 @@
+lib/core/predec.mli: Block

@@ -1,0 +1,1 @@
+lib/core/region.ml: Block Facile_db Facile_uarch Facile_x86 Float Inst List Model Port

@@ -1,0 +1,1 @@
+lib/core/region.mli: Config Facile_uarch Facile_x86 Inst Model

@@ -1,0 +1,156 @@
+open Facile_x86
+open Facile_db
+open Facile_uarch
+
+type entry = {
+  inst : Inst.t;
+  layout : Encode.layout;
+  desc : Db.t;
+  fuses_with_next : bool;
+  fused_into_prev : bool;
+}
+
+type logical = {
+  insts : Inst.t list;
+  fused_uops : int;
+  issued_uops : int;
+  dispatched : Db.uop list;
+  latency : int;
+  complex_decode : bool;
+  available_simple_dec : int;
+  eliminated : bool;
+  zero_idiom : bool;
+  is_branch : bool;
+  macro_fused : bool;
+  reads : Semantics.resource list;
+  writes : Semantics.resource list;
+  loads : bool;
+}
+
+type t = {
+  cfg : Config.t;
+  entries : entry list;
+  logicals : logical list;
+  bytes : string;
+  len : int;
+}
+
+let logical_of_entry (e : entry) =
+  let d = e.desc in
+  { insts = [ e.inst ];
+    fused_uops = d.Db.fused_uops;
+    issued_uops = d.Db.issued_uops;
+    dispatched = d.Db.dispatched;
+    latency = d.Db.latency;
+    complex_decode = d.Db.complex_decode;
+    available_simple_dec = d.Db.available_simple_dec;
+    eliminated = d.Db.eliminated;
+    zero_idiom = d.Db.zero_idiom;
+    is_branch = Inst.is_branch e.inst;
+    macro_fused = false;
+    reads = (if d.Db.zero_idiom then [] else Semantics.reads e.inst);
+    writes = Semantics.writes e.inst;
+    loads = Inst.loads e.inst }
+
+(* A macro-fused pair: one fused-domain µop executing on the branch
+   unit; the first instruction's load µop (if any) stays micro-fused. *)
+let logical_of_pair cfg (first : entry) (jcc : entry) =
+  let d = first.desc in
+  let load_uops =
+    List.filter (fun u -> u.Db.kind = Db.Load) d.Db.dispatched
+  in
+  let branch_uop =
+    { Db.kind = Db.Compute; ports = cfg.Config.pm.Config.branch }
+  in
+  let reads_first = Semantics.reads first.inst in
+  let writes_first = Semantics.writes first.inst in
+  let reads_jcc =
+    List.filter
+      (fun r -> not (List.mem r writes_first))
+      (Semantics.reads jcc.inst)
+  in
+  let dedup l =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l
+    |> List.rev
+  in
+  { insts = [ first.inst; jcc.inst ];
+    fused_uops = d.Db.fused_uops;
+    issued_uops = d.Db.issued_uops;
+    dispatched = load_uops @ [ branch_uop ];
+    latency = d.Db.latency;
+    complex_decode = d.Db.complex_decode;
+    available_simple_dec = d.Db.available_simple_dec;
+    eliminated = false;
+    zero_idiom = false;
+    is_branch = true;
+    macro_fused = true;
+    reads = dedup (reads_first @ reads_jcc);
+    writes = writes_first;
+    loads = Inst.loads first.inst }
+
+let build cfg bytes (layouts : Encode.layout list) =
+  let raw =
+    List.map
+      (fun (l : Encode.layout) ->
+        { inst = l.Encode.inst;
+          layout = l;
+          desc = Db.describe cfg l.Encode.inst;
+          fuses_with_next = false;
+          fused_into_prev = false })
+      layouts
+  in
+  (* mark macro-fusion pairs *)
+  let rec mark = function
+    | a :: b :: rest
+      when cfg.Config.macro_fusion
+           && a.desc.Db.macro_fusible
+           && Inst.is_cond_branch b.inst ->
+      { a with fuses_with_next = true }
+      :: { b with fused_into_prev = true }
+      :: mark rest
+    | a :: rest -> a :: mark rest
+    | [] -> []
+  in
+  let entries = mark raw in
+  let rec logicals = function
+    | a :: b :: rest when a.fuses_with_next ->
+      logical_of_pair cfg a b :: logicals rest
+    | a :: rest -> logical_of_entry a :: logicals rest
+    | [] -> []
+  in
+  { cfg; entries; logicals = logicals entries; bytes;
+    len = String.length bytes }
+
+let of_instructions cfg insts =
+  let bytes, layouts = Encode.encode_block insts in
+  build cfg bytes layouts
+
+let of_bytes cfg code = build cfg code (Decode.decode_block code)
+
+let ends_in_branch t =
+  match List.rev t.entries with
+  | e :: _ -> Inst.is_branch e.inst
+  | [] -> false
+
+let fused_uops t =
+  List.fold_left (fun acc l -> acc + l.fused_uops) 0 t.logicals
+
+let issued_uops t =
+  List.fold_left (fun acc l -> acc + l.issued_uops) 0 t.logicals
+
+let jcc_erratum_affected t =
+  (* a jump (or macro-fused jump pair) that crosses or ends on a 32-byte
+     boundary prevents the block from being cached in the DSB/LSD *)
+  let rec check = function
+    | a :: b :: rest when a.fuses_with_next ->
+      let s = a.layout.Encode.off in
+      let e = b.layout.Encode.off + b.layout.Encode.len in
+      touches s e || check rest
+    | a :: rest when Inst.is_branch a.inst ->
+      let s = a.layout.Encode.off in
+      let e = s + a.layout.Encode.len in
+      touches s e || check rest
+    | _ :: rest -> check rest
+    | [] -> false
+  and touches s e = s / 32 <> (e - 1) / 32 || e mod 32 = 0 in
+  check t.entries

@@ -1,0 +1,70 @@
+(** Analyzed basic blocks: instructions + encoding layout + per-µarch
+    instruction descriptors + macro-fusion pairing.
+
+    This is the input representation shared by all of Facile's component
+    predictors, the baselines, and the pipeline simulator. *)
+
+open Facile_x86
+open Facile_db
+open Facile_uarch
+
+(** One raw instruction with its encoding layout and DB descriptor. *)
+type entry = {
+  inst : Inst.t;
+  layout : Encode.layout;
+  desc : Db.t;
+  fuses_with_next : bool;  (** macro-fuses with the following Jcc *)
+  fused_into_prev : bool;  (** this Jcc is absorbed by its predecessor *)
+}
+
+(** A {e logical} instruction: either a single instruction or a
+    macro-fused pair, with the merged µop-level characteristics.
+    This is the unit the decoder, renamer and scheduler operate on. *)
+type logical = {
+  insts : Inst.t list;
+  fused_uops : int;
+  issued_uops : int;
+  dispatched : Db.uop list;
+  latency : int;
+  complex_decode : bool;
+  available_simple_dec : int;
+  eliminated : bool;
+  zero_idiom : bool;
+  is_branch : bool;
+  macro_fused : bool;
+  reads : Semantics.resource list;
+  writes : Semantics.resource list;
+  loads : bool;
+}
+
+type t = {
+  cfg : Config.t;
+  entries : entry list;
+  logicals : logical list;
+  bytes : string;
+  len : int;  (** block length in bytes *)
+}
+
+(** [of_instructions cfg insts] encodes and analyzes a block.
+    @raise Encode.Unencodable or [Db.Unsupported] on bad input. *)
+val of_instructions : Config.t -> Inst.t list -> t
+
+(** [of_bytes cfg code] decodes machine code and analyzes it.
+    @raise Decode.Decode_error on undecodable input. *)
+val of_bytes : Config.t -> string -> t
+
+(** Whether the block ends in a (possibly conditional) branch and is
+    therefore analyzed as a loop ([TP_L]); otherwise as unrolled
+    ([TP_U]). *)
+val ends_in_branch : t -> bool
+
+(** Total fused-domain µops (decode/DSB/LSD view). *)
+val fused_uops : t -> int
+
+(** Total issue-domain µops (after unlamination). *)
+val issued_uops : t -> int
+
+(** The JCC-erratum test: does some branch (or macro-fused pair) cross
+    or end on a 32-byte boundary? Only meaningful when
+    [cfg.jcc_erratum] holds. *)
+val jcc_erratum_affected : t -> bool

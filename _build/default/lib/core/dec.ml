@@ -1,0 +1,83 @@
+open Facile_uarch
+
+let complex_cycles (l : Block.logical) =
+  if l.Block.fused_uops > 4 then (l.Block.fused_uops + 3) / 4 else 1
+
+let simple (b : Block.t) =
+  let items = b.Block.logicals in
+  if items = [] then 0.0
+  else begin
+    let d = b.Block.cfg.Config.n_decoders in
+    let n = List.length items in
+    let c =
+      List.fold_left
+        (fun acc l ->
+          if l.Block.complex_decode then acc + complex_cycles l else acc)
+        0 items
+    in
+    Float.max (float_of_int n /. float_of_int d) (float_of_int c)
+  end
+
+let throughput (b : Block.t) =
+  let items = Array.of_list b.Block.logicals in
+  let n_items = Array.length items in
+  if n_items = 0 then 0.0
+  else begin
+    let cfg = b.Block.cfg in
+    let ndec = cfg.Config.n_decoders in
+    let max_iter = (ndec * 4) + 8 in
+    let n_complex = Array.make (max_iter + 2) 0 in
+    let first_on_dec = Array.make ndec (-1) in
+    let cur_dec = ref (ndec - 1) in
+    let n_avail = ref 0 in
+    let result = ref None in
+    let iteration = ref 0 in
+    while !result = None && !iteration < max_iter do
+      incr iteration;
+      let it = !iteration in
+      n_complex.(it) <- 0;
+      Array.iteri
+        (fun idx item ->
+          if !result = None then begin
+            if item.Block.complex_decode then begin
+              cur_dec := 0;
+              n_avail := item.Block.available_simple_dec
+            end
+            else if
+              !n_avail = 0
+              || (!cur_dec + 1 = ndec - 1
+                  && item.Block.macro_fused
+                  && not cfg.Config.macro_fusible_on_last_decoder)
+            then begin
+              cur_dec := 0;
+              n_avail := ndec - 1
+            end
+            else begin
+              incr cur_dec;
+              decr n_avail
+            end;
+            if item.Block.is_branch then n_avail := 0;
+            if !cur_dec = 0 then
+              n_complex.(it) <- n_complex.(it) + complex_cycles item;
+            if idx = 0 then begin
+              let f = first_on_dec.(!cur_dec) in
+              if f >= 0 then begin
+                let u = it - f in
+                let cycles = ref 0 in
+                for r = f to it - 1 do
+                  cycles := !cycles + n_complex.(r)
+                done;
+                result := Some (float_of_int !cycles /. float_of_int u)
+              end
+              else first_on_dec.(!cur_dec) <- it
+            end
+          end)
+        items
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+      (* cannot happen: with [ndec] decoders the first instruction can
+         only land on [ndec] distinct decoders *)
+      simple b
+  end

@@ -1,0 +1,16 @@
+(** The decoder component (paper §4.4, Algorithm 1).
+
+    Simulates the allocation of (logical) instructions to the one
+    complex + several simple decoders until the first instruction of the
+    block lands on the same decoder for the second time, then reads the
+    steady-state throughput off the complex-decoder usage counts.
+
+    Extension over the paper's Algorithm 1: microcoded instructions
+    (more than 4 fused µops) occupy the complex decoder for
+    [ceil (µops / 4)] cycles instead of one. *)
+
+val throughput : Block.t -> float
+
+(** The SimpleDec baseline: [max (n / #decoders) c] where [c] is the
+    number of instructions requiring the complex decoder. *)
+val simple : Block.t -> float

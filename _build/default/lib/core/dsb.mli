@@ -1,0 +1,6 @@
+(** The decoded stream buffer (µop cache) component (paper §4.5):
+    fused-domain µops over the DSB width, with a whole-cycle round-up
+    for blocks shorter than 32 bytes (after a branch no further µops
+    from the same 32-byte window can be delivered in the same cycle). *)
+
+val throughput : Block.t -> float

@@ -1,0 +1,5 @@
+open Facile_uarch
+
+let throughput (b : Block.t) =
+  let n = Block.issued_uops b in
+  float_of_int n /. float_of_int b.Block.cfg.Config.issue_width

@@ -1,0 +1,4 @@
+(** The issue (rename) component (paper §4.7): fused-domain µops after
+    unlamination, divided by the issue width. *)
+
+val throughput : Block.t -> float

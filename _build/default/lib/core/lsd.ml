@@ -1,0 +1,15 @@
+open Facile_uarch
+
+let applicable (b : Block.t) =
+  b.Block.cfg.Config.lsd_enabled
+  && Block.fused_uops b <= b.Block.cfg.Config.idq_size
+
+let throughput (b : Block.t) =
+  let n = Block.fused_uops b in
+  if n = 0 then 0.0
+  else begin
+    let cfg = b.Block.cfg in
+    let i = cfg.Config.issue_width in
+    let u = Config.lsd_unroll cfg n in
+    float_of_int (((n * u) + i - 1) / i) /. float_of_int u
+  end

@@ -1,0 +1,10 @@
+(** The loop stream detector component (paper §4.6): the LSD streams the
+    locked-down µops, cannot issue the last µop of one iteration with the
+    first of the next in the same cycle, and unrolls small loops to
+    amortize that bubble ([Config.lsd_unroll]). *)
+
+val throughput : Block.t -> float
+
+(** Whether the LSD applies to this block: enabled on the µarch and the
+    loop's fused µops fit in the IDQ. *)
+val applicable : Block.t -> bool

@@ -1,0 +1,109 @@
+open Facile_uarch
+
+type component = Predec | Dec | DSB | LSD | Issue | Ports | Precedence
+
+let all_components = [ Predec; Dec; LSD; DSB; Issue; Ports; Precedence ]
+
+let component_name = function
+  | Predec -> "Predec"
+  | Dec -> "Dec"
+  | DSB -> "DSB"
+  | LSD -> "LSD"
+  | Issue -> "Issue"
+  | Ports -> "Ports"
+  | Precedence -> "Precedence"
+
+type variant = {
+  simple_predec : bool;
+  simple_dec : bool;
+  without : component list;
+  only : component list option;
+  idealized : component list;
+}
+
+let default =
+  { simple_predec = false; simple_dec = false; without = [];
+    only = None; idealized = [] }
+
+type fe_path = FE_decoders | FE_lsd | FE_dsb | FE_none
+
+type prediction = {
+  cycles : float;
+  bottlenecks : component list;
+  values : (component * float) list;
+  fe_path : fe_path;
+}
+
+(* Raw value of every component for the given execution mode. *)
+let raw_values variant mode (b : Block.t) =
+  let predec =
+    if variant.simple_predec then Predec.simple b
+    else Predec.throughput ~mode b
+  in
+  let dec = if variant.simple_dec then Dec.simple b else Dec.throughput b in
+  [ Predec, predec;
+    Dec, dec;
+    LSD, Lsd.throughput b;
+    DSB, Dsb.throughput b;
+    Issue, Issue.throughput b;
+    Ports, Ports.throughput b;
+    Precedence, Precedence.throughput b ]
+
+let apply_idealized variant (c, v) =
+  if List.mem c variant.idealized then (c, 0.0) else (c, v)
+
+let combine variant values candidates fe_path =
+  let considered =
+    match variant.only with
+    | Some comps -> List.filter (fun (c, _) -> List.mem c comps) values
+    | None ->
+      List.filter
+        (fun (c, _) ->
+          List.mem c candidates && not (List.mem c variant.without))
+        values
+  in
+  let considered = List.map (apply_idealized variant) considered in
+  let cycles =
+    List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 considered
+  in
+  let bottlenecks =
+    List.filter_map
+      (fun c ->
+        match List.assoc_opt c considered with
+        | Some v when cycles > 0.0 && abs_float (v -. cycles) < 1e-9 -> Some c
+        | _ -> None)
+      all_components
+  in
+  { cycles; bottlenecks; values; fe_path }
+
+let predict_u ?(variant = default) b =
+  let values = raw_values variant `Unrolled b in
+  combine variant values [ Predec; Dec; Issue; Ports; Precedence ] FE_none
+
+let predict_l ?(variant = default) b =
+  let values = raw_values variant `Loop b in
+  let cfg = b.Block.cfg in
+  let fe_candidates, fe_path =
+    if cfg.Config.jcc_erratum && Block.jcc_erratum_affected b then
+      ([ Predec; Dec ], FE_decoders)
+    else if Lsd.applicable b then ([ LSD ], FE_lsd)
+    else ([ DSB ], FE_dsb)
+  in
+  combine variant values
+    (fe_candidates @ [ Issue; Ports; Precedence ])
+    fe_path
+
+let predict ?(variant = default) b =
+  if Block.ends_in_branch b then predict_l ~variant b
+  else predict_u ~variant b
+
+let bottleneck ?(variant = default) b =
+  let p = predict ~variant b in
+  match p.bottlenecks with
+  | c :: _ -> c
+  | [] -> Issue (* empty block: arbitrary but stable *)
+
+let speedup_idealizing b c =
+  let base = (predict_u b).cycles in
+  let ideal = (predict_u ~variant:{ default with idealized = [ c ] } b).cycles in
+  if ideal <= 0.0 then 1.0 else base /. ideal

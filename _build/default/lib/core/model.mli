@@ -1,0 +1,54 @@
+(** The Facile throughput model: combination of the component bounds
+    (paper §4.1, §4.2), bottleneck identification, component ablations
+    (Table 3) and counterfactual idealization (Table 4). *)
+
+type component = Predec | Dec | DSB | LSD | Issue | Ports | Precedence
+
+val all_components : component list
+val component_name : component -> string
+
+(** Ablation/variant switches. [without] removes components from the
+    max; [only] predicts from the listed components alone (raw values,
+    ignoring the front-end path selection); [idealized] treats
+    components as infinitely fast (Table 4); [simple_predec] /
+    [simple_dec] substitute the simple baselines of §4.3/§4.4. *)
+type variant = {
+  simple_predec : bool;
+  simple_dec : bool;
+  without : component list;
+  only : component list option;
+  idealized : component list;
+}
+
+val default : variant
+
+(** Which front-end source serves the loop in steady state (TP_L). *)
+type fe_path = FE_decoders | FE_lsd | FE_dsb | FE_none
+
+type prediction = {
+  cycles : float;  (** predicted inverse throughput (cycles/iteration) *)
+  bottlenecks : component list;
+      (** components whose bound equals [cycles]; ordered front-end
+          first (Predec > Dec > LSD > DSB > Issue > Ports > Precedence) *)
+  values : (component * float) list;
+      (** every component's raw bound (before ablation filtering) *)
+  fe_path : fe_path;
+}
+
+(** [predict_u b] — throughput under unrolling (Equation 1). *)
+val predict_u : ?variant:variant -> Block.t -> prediction
+
+(** [predict_l b] — throughput of the block executed as a loop
+    (Equations 2 and 3, including the JCC-erratum and LSD conditions). *)
+val predict_l : ?variant:variant -> Block.t -> prediction
+
+(** [predict b] dispatches on {!Block.ends_in_branch}. *)
+val predict : ?variant:variant -> Block.t -> prediction
+
+(** [bottleneck b] — the single bottleneck under the paper's
+    front-end-first tie-breaking (used for the Figure 6 Sankey). *)
+val bottleneck : ?variant:variant -> Block.t -> component
+
+(** [speedup_idealizing b c] — ratio [cycles / cycles-with-c-idealized]
+    under TP_U (Table 4); 1.0 when [c] is not a bottleneck. *)
+val speedup_idealizing : Block.t -> component -> float

@@ -1,0 +1,24 @@
+(** The execution-port contention component (paper §4.8).
+
+    Assumes the renamer distributes µops optimally. For every port
+    combination [pc] that is the union of the port sets of some pair of
+    µops, the µops whose port set is a subset of [pc] can only execute
+    on the [|pc|] ports of [pc], bounding throughput by
+    [count / |pc|]. The prediction is the maximum such bound. *)
+
+open Facile_uarch
+
+val throughput : Block.t -> float
+
+(** The port combination achieving the bound, with its µop count —
+    the interpretable feedback for a Ports bottleneck. *)
+val critical_combination : Block.t -> (Port.t * int) option
+
+(** The exact bound: the maximum of [count / |pc|] over {e every}
+    subset [pc] of the machine's ports (equivalent to the linear
+    program of uops.info [8] on these instances). The paper observes
+    that the pairwise heuristic reaches the same bound on all BHive
+    benchmarks; [throughput b = throughput_exhaustive b] is
+    property-tested on our corpus, and an ablation bench compares their
+    cost. *)
+val throughput_exhaustive : Block.t -> float

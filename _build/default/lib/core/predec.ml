@@ -1,0 +1,52 @@
+open Facile_x86
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let simple (b : Block.t) = float_of_int b.Block.len /. 16.0
+
+let throughput ~mode (b : Block.t) =
+  let l = b.Block.len in
+  if l = 0 then 0.0
+  else begin
+    let width = b.Block.cfg.Facile_uarch.Config.predecode_width in
+    let u =
+      match mode with
+      | `Unrolled -> 16 / gcd l 16
+      | `Loop -> 1
+    in
+    let n =
+      match mode with
+      | `Unrolled -> u * l / 16
+      | `Loop -> (l + 15) / 16
+    in
+    let last_count = Array.make n 0 in
+    let opcode_count = Array.make n 0 in
+    let lcp_count = Array.make n 0 in
+    for copy = 0 to u - 1 do
+      List.iter
+        (fun (e : Block.entry) ->
+          let lay = e.Block.layout in
+          let last = (copy * l) + lay.Encode.off + lay.Encode.len - 1 in
+          let opc = (copy * l) + lay.Encode.nominal_opcode_off in
+          let last_b = last / 16 in
+          let opc_b = opc / 16 in
+          last_count.(last_b) <- last_count.(last_b) + 1;
+          if opc_b <> last_b then
+            opcode_count.(opc_b) <- opcode_count.(opc_b) + 1;
+          if lay.Encode.lcp then lcp_count.(opc_b) <- lcp_count.(opc_b) + 1)
+        b.Block.entries
+    done;
+    let cyc_nlcp bi =
+      let c = last_count.(bi) + opcode_count.(bi) in
+      (c + width - 1) / width
+    in
+    let total = ref 0 in
+    for bi = 0 to n - 1 do
+      let prev = (bi + n - 1) mod n in
+      let lcp_cycles =
+        max 0 ((3 * lcp_count.(bi)) - (cyc_nlcp prev - 1))
+      in
+      total := !total + cyc_nlcp bi + lcp_cycles
+    done;
+    float_of_int !total /. float_of_int u
+  end

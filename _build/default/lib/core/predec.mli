@@ -1,0 +1,16 @@
+(** The predecoder component (paper §4.3).
+
+    Models 16-byte fetch blocks, the 5-instructions-per-cycle predecode
+    width, the one-cycle penalty for instructions whose nominal opcode
+    and last byte fall in different fetch blocks, and the three-cycle
+    penalty per length-changing prefix (partially hidden behind the
+    previous block's predecode time). *)
+
+(** [throughput ~mode b] is the average predecode cycles per iteration
+    of [b]. Under [`Unrolled] the steady state repeats after
+    [lcm (len, 16) / len] copies; under [`Loop] fetch restarts at the
+    block start every iteration. *)
+val throughput : mode:[ `Unrolled | `Loop ] -> Block.t -> float
+
+(** The SimplePredec baseline: [len / 16]. *)
+val simple : Block.t -> float

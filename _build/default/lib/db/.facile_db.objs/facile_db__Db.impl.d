@@ -1,0 +1,1 @@
+lib/db/db.ml: Config Facile_uarch Facile_x86 Inst List Operand Port Register

@@ -1,0 +1,1 @@
+lib/db/db.mli: Config Facile_uarch Facile_x86 Inst Port

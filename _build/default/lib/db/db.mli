@@ -1,0 +1,62 @@
+(** Per-(microarchitecture, instruction) performance characteristics —
+    the role uops.info and the uiCA instruction data play for the
+    original Facile implementation.
+
+    The numbers follow published uops.info / optimization-manual values
+    for the supported instruction subset; where exact per-SKU values are
+    not public the table uses the family-typical value (see DESIGN.md).
+
+    Domains, following the paper's terminology (§3.2):
+    - {e fused-domain} µops as seen by decoders, DSB and LSD
+      ([fused_uops]);
+    - fused-domain µops {e after unlamination} as seen by the renamer
+      ([issued_uops cfg inst]);
+    - {e unfused-domain} µops dispatched to execution ports
+      ([dispatched]). *)
+
+open Facile_x86
+open Facile_uarch
+
+(** Role of a dispatched µop within its instruction; the simulator uses
+    this to chain intra-instruction latencies (address generation →
+    load → compute → store). *)
+type uop_kind =
+  | Load
+  | Compute
+  | Store_addr
+  | Store_data
+  | Div_pseudo
+      (** extra occupancy of the (non-pipelined) divider port; carries
+          no data dependency of its own *)
+
+type uop = { kind : uop_kind; ports : Port.t }
+
+type t = {
+  fused_uops : int;            (** decode/DSB/LSD-domain µop count *)
+  issued_uops : int;           (** after unlamination (renamer view) *)
+  dispatched : uop list;       (** unfused µops with their port sets *)
+  latency : int;               (** register-to-register result latency of
+                                   the compute chain (load latency is the
+                                   µarch's [load_latency] on top) *)
+  complex_decode : bool;       (** must use the complex decoder *)
+  available_simple_dec : int;  (** simple decoders usable in the same
+                                   cycle (Algorithm 1, line 12) *)
+  eliminated : bool;           (** handled at rename: dispatches nothing *)
+  zero_idiom : bool;           (** dependency-breaking idiom *)
+  macro_fusible : bool;        (** can macro-fuse with a following Jcc *)
+}
+
+(** [describe cfg inst] looks up the characteristics of [inst] on the
+    microarchitecture [cfg].
+    @raise Unsupported if the instruction does not exist on [cfg]
+    (e.g. FMA before Haswell). *)
+val describe : Config.t -> Inst.t -> t
+
+exception Unsupported of string
+
+(** [supported cfg inst] is [true] iff [describe] succeeds. *)
+val supported : Config.t -> Inst.t -> bool
+
+(** [is_zero_idiom inst] recognizes dependency-breaking idioms
+    (XOR/SUB/PXOR/XORPS/... of a register with itself). *)
+val is_zero_idiom : Inst.t -> bool

@@ -1,0 +1,1 @@
+lib/graph/cycle_ratio.ml: Array Digraph List

@@ -1,0 +1,1 @@
+lib/report/sankey.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/report/sankey.mli:

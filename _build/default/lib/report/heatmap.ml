@@ -1,0 +1,48 @@
+let shades = " .:-=+*#@"
+
+let render ~max_value ~bins pairs =
+  if bins <= 0 || max_value <= 0.0 then invalid_arg "Heatmap.render";
+  let grid = Array.make_matrix bins bins 0 in
+  let clamp v = min (bins - 1) (max 0 v) in
+  let used = ref 0 in
+  List.iter
+    (fun (m, p) ->
+      if m >= 0.0 && m <= max_value && p >= 0.0 && p <= max_value then begin
+        incr used;
+        let x = clamp (int_of_float (m /. max_value *. float_of_int bins)) in
+        let y = clamp (int_of_float (p /. max_value *. float_of_int bins)) in
+        grid.(y).(x) <- grid.(y).(x) + 1
+      end)
+    pairs;
+  let maxc =
+    Array.fold_left
+      (fun acc row -> Array.fold_left max acc row)
+      1 grid
+  in
+  let shade c =
+    if c = 0 then ' '
+    else begin
+      let logmax = log (float_of_int maxc +. 1.0) in
+      let idx =
+        int_of_float
+          (log (float_of_int c +. 1.0) /. logmax
+           *. float_of_int (String.length shades - 1))
+      in
+      shades.[max 1 (min idx (String.length shades - 1))]
+    end
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "predicted ^ (%d points shown, max %.0f cycles)\n" !used
+       max_value);
+  for y = bins - 1 downto 0 do
+    Buffer.add_string buf "  |";
+    for x = 0 to bins - 1 do
+      let c = grid.(y).(x) in
+      if c = 0 && x = y then Buffer.add_char buf '\\'
+      else Buffer.add_char buf (shade c)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf ("  +" ^ String.make bins '-' ^ "> measured\n");
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** ASCII heatmaps of measured vs. predicted throughput (Figure 3). *)
+
+(** [render ~max_value ~bins pairs] bins [(measured, predicted)] points
+    into a [bins] x [bins] grid over [\[0, max_value\]] on both axes and
+    renders density with the characters [" .:-=+*#@"]. The measured
+    value runs along the x axis, the prediction up the y axis; the
+    diagonal is marked where empty. *)
+val render : max_value:float -> bins:int -> (float * float) list -> string

@@ -1,0 +1,37 @@
+let bar n total width =
+  if total = 0 then ""
+  else String.make (max 1 (n * width / max total 1)) '#'
+
+let render ~from_label ~to_label flows =
+  let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 flows in
+  let sum_by f =
+    List.fold_left
+      (fun acc (s, d, n) ->
+        let k = f (s, d) in
+        let cur = try List.assoc k acc with Not_found -> 0 in
+        (k, cur + n) :: List.remove_assoc k acc)
+      [] flows
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let left = sum_by fst and right = sum_by snd in
+  let buf = Buffer.create 512 in
+  let side label sums =
+    Buffer.add_string buf (Printf.sprintf "%s:\n" label);
+    List.iter
+      (fun (k, n) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %5d (%4.1f%%) %s\n" k n
+             (100.0 *. float_of_int n /. float_of_int (max total 1))
+             (bar n total 40)))
+      sums
+  in
+  side from_label left;
+  Buffer.add_string buf "flows:\n";
+  List.sort (fun (_, _, a) (_, _, b) -> compare b a) flows
+  |> List.iter (fun (s, d, n) ->
+         if n > 0 && s <> d then
+           Buffer.add_string buf
+             (Printf.sprintf "  %-12s -> %-12s %5d %s\n" s d n
+                (bar n total 30)));
+  side to_label right;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Textual Sankey-style flow rendering (Figure 6): how the set of
+    benchmarks migrates between bottleneck categories from one
+    microarchitecture to the next. *)
+
+(** [render ~from_label ~to_label flows] where each flow is
+    [(source category, destination category, count)]. Shows per-category
+    totals on both sides and the individual flows with proportional
+    bars. *)
+val render :
+  from_label:string ->
+  to_label:string ->
+  (string * string * int) list ->
+  string

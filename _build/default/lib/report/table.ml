@@ -1,0 +1,34 @@
+let pct v = Printf.sprintf "%.2f%%" (v *. 100.0)
+let f2 v = Printf.sprintf "%.2f" v
+let f4 v = Printf.sprintf "%.4f" v
+
+let render ~header rows =
+  let all = header :: rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> width.(i) <- max width.(i) (String.length cell))
+        row)
+    all;
+  let pad i cell =
+    let w = width.(i) in
+    let n = w - String.length cell in
+    if i = 0 then cell ^ String.make n ' ' else String.make n ' ' ^ cell
+  in
+  let render_row row =
+    String.concat "  " (List.mapi pad row)
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') width))
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print ~title ~header rows =
+  Printf.printf "\n%s\n%s\n%s\n" title
+    (String.make (String.length title) '=')
+    (render ~header rows)

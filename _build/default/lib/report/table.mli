@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+(** [render ~header rows] aligns columns (first column left, the rest
+    right) and separates the header with a rule. *)
+val render : header:string list -> string list list -> string
+
+(** [print ~title ~header rows] renders with a title line to stdout. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Format helpers. *)
+val pct : float -> string   (** 0.0123 -> "1.23%" *)
+
+val f2 : float -> string    (** two decimals *)
+
+val f4 : float -> string    (** four decimals *)

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Block Config Db Encode Facile_core Facile_db Facile_uarch Facile_x86 Hashtbl Inst List Lsd Operand Port Queue Register Semantics

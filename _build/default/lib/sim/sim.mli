@@ -1,0 +1,46 @@
+(** Cycle-level pipeline simulator of the paper's Figure-1 machine:
+    predecoder → decoders → IDQ (fed by the legacy decode path, the DSB,
+    or the LSD) → rename/issue (with unlamination, move elimination and
+    macro fusion) → per-port scheduler → execution → in-order retire.
+
+    Two fidelities:
+    - [Hardware] plays the role of the real CPUs the paper measures on:
+      ports are bound at issue with a greedy least-loaded heuristic,
+      ROB/RS capacities are enforced, and taken branches insert a
+      one-cycle fetch bubble on the legacy decode path.
+    - [Model] is the uiCA-like simulation baseline: the same pipeline
+      with idealized port selection (at dispatch, any free allowed
+      port) and unbounded buffers.
+
+    Facile's component bounds are all lower bounds on what this machine
+    can do, so Facile is optimistic w.r.t. the simulator by design —
+    the property the paper observes against real hardware (§6.2). *)
+
+type fidelity = Hardware | Model
+
+exception Did_not_converge
+(** Raised if the pipeline fails to retire the requested number of
+    iterations within a generous cycle budget (indicates a deadlock —
+    never expected on DB-supported blocks). *)
+
+(** [cycles_per_iteration ~mode b] runs the block repeatedly
+    ([`Unrolled]: back-to-back copies through the legacy decode path;
+    [`Loop]: the steady-state front-end path chosen per Equation 3) and
+    returns the measured cycles per iteration, averaged over [measure]
+    iterations after [warmup] iterations (defaults 64 and 48; the measure window is a multiple of every front-end repeat period). *)
+val cycles_per_iteration :
+  ?fidelity:fidelity ->
+  ?warmup:int ->
+  ?measure:int ->
+  mode:[ `Unrolled | `Loop ] ->
+  Facile_core.Block.t ->
+  float
+
+(** [measure b] — the "measurement" convention used by the evaluation
+    harness: hardware fidelity, mode chosen by
+    {!Facile_core.Block.ends_in_branch}. *)
+val measure : Facile_core.Block.t -> float
+
+(** [uica_like b] — the simulation-based baseline: model fidelity, same
+    mode selection. *)
+val uica_like : Facile_core.Block.t -> float

@@ -1,0 +1,1 @@
+lib/stats/error_metrics.ml: Float List

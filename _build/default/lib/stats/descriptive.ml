@@ -1,0 +1,53 @@
+let req l = if l = [] then invalid_arg "Descriptive: empty list"
+
+let mean l =
+  req l;
+  List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean l =
+  req l;
+  exp (mean (List.map (fun x -> log (Float.max x 1e-300)) l))
+
+let stddev l =
+  req l;
+  let m = mean l in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
+
+let minimum l = req l; List.fold_left Float.min infinity l
+let maximum l = req l; List.fold_left Float.max neg_infinity l
+
+let percentile p l =
+  req l;
+  let arr = Array.of_list l in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+  end
+
+let median l = percentile 50.0 l
+
+let histogram ~buckets l =
+  req l;
+  if buckets <= 0 then invalid_arg "Descriptive.histogram";
+  let lo = minimum l and hi = maximum l in
+  let width =
+    if hi = lo then 1.0 else (hi -. lo) /. float_of_int buckets
+  in
+  let counts = Array.make buckets 0 in
+  List.iter
+    (fun x ->
+      let idx =
+        min (buckets - 1) (int_of_float ((x -. lo) /. width))
+      in
+      counts.(idx) <- counts.(idx) + 1)
+    l;
+  List.init buckets (fun i ->
+      ( lo +. (float_of_int i *. width),
+        lo +. (float_of_int (i + 1) *. width),
+        counts.(i) ))

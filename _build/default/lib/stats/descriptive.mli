@@ -1,0 +1,16 @@
+(** Small descriptive-statistics helpers for the benchmark reports. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+(** [percentile p l] for [p] in [0, 100], by linear interpolation. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+
+(** [histogram ~buckets l] returns [(lo, hi, count)] rows covering
+    [min, max] with equal-width buckets. *)
+val histogram : buckets:int -> float list -> (float * float * int) list

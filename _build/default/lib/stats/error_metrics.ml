@@ -1,0 +1,25 @@
+let round2 v = Float.round (v *. 100.0) /. 100.0
+
+let mape pairs =
+  let used = List.filter (fun (m, _) -> m <> 0.0) pairs in
+  match used with
+  | [] -> invalid_arg "Error_metrics.mape: no usable pairs"
+  | _ ->
+    let total =
+      List.fold_left
+        (fun acc (m, p) -> acc +. abs_float ((m -. p) /. m))
+        0.0 used
+    in
+    total /. float_of_int (List.length used)
+
+let within ~tol pairs =
+  match pairs with
+  | [] -> invalid_arg "Error_metrics.within"
+  | _ ->
+    let ok =
+      List.length
+        (List.filter
+           (fun (m, p) -> m <> 0.0 && abs_float ((m -. p) /. m) <= tol)
+           pairs)
+    in
+    float_of_int ok /. float_of_int (List.length pairs)

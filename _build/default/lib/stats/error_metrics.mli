@@ -1,0 +1,16 @@
+(** Accuracy metrics used in the paper's evaluation (§6.2). *)
+
+(** [mape pairs] — mean absolute percentage error of [(measured,
+    predicted)] pairs, as a fraction (0.01 = 1%). Pairs with a zero
+    measurement are skipped (matching the BHive evaluation convention).
+    @raise Invalid_argument on an empty list. *)
+val mape : (float * float) list -> float
+
+(** [round2 v] rounds to two decimal digits — predictions and
+    measurements are rounded the same way before comparison, as in the
+    paper. *)
+val round2 : float -> float
+
+(** Fraction of pairs where the prediction is within [tol] (relative)
+    of the measurement. *)
+val within : tol:float -> (float * float) list -> float

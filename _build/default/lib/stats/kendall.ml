@@ -1,0 +1,91 @@
+let sign a b = if a < b then -1 else if a > b then 1 else 0
+
+let tau_b_naive pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Kendall.tau_b_naive";
+  let cd = ref 0 and nx = ref 0 and ny = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let x1, y1 = arr.(i) and x2, y2 = arr.(j) in
+      let sx = sign x1 x2 and sy = sign y1 y2 in
+      cd := !cd + (sx * sy);
+      if sx <> 0 then incr nx;
+      if sy <> 0 then incr ny
+    done
+  done;
+  if !nx = 0 || !ny = 0 then nan
+  else float_of_int !cd /. sqrt (float_of_int !nx *. float_of_int !ny)
+
+(* Merge-sort based counting of discordant pairs: after sorting by
+   (x, y), the number of inversions of the y sequence equals the number
+   of discordant pairs (x-ties contribute no inversions because their y
+   values are sorted ascending). *)
+let count_inversions (a : float array) =
+  let n = Array.length a in
+  let buf = Array.make n 0.0 in
+  let inv = ref 0 in
+  let rec sort lo hi =
+    (* [lo, hi) *)
+    if hi - lo > 1 then begin
+      let mid = (lo + hi) / 2 in
+      sort lo mid;
+      sort mid hi;
+      let i = ref lo and j = ref mid and k = ref lo in
+      while !i < mid && !j < hi do
+        if a.(!i) <= a.(!j) then begin
+          buf.(!k) <- a.(!i); incr i
+        end
+        else begin
+          buf.(!k) <- a.(!j);
+          incr j;
+          inv := !inv + (mid - !i)
+        end;
+        incr k
+      done;
+      while !i < mid do buf.(!k) <- a.(!i); incr i; incr k done;
+      while !j < hi do buf.(!k) <- a.(!j); incr j; incr k done;
+      Array.blit buf lo a lo (hi - lo)
+    end
+  in
+  sort 0 n;
+  !inv
+
+(* Count SUM over tie-groups of g*(g-1)/2 for the key function. *)
+let tie_pairs sorted key =
+  let n = Array.length sorted in
+  let total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref (!i + 1) in
+    while !j < n && key sorted.(!j) = key sorted.(!i) do incr j done;
+    let g = !j - !i in
+    total := !total + (g * (g - 1) / 2);
+    i := !j
+  done;
+  !total
+
+let tau_b pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Kendall.tau_b";
+  Array.sort
+    (fun (x1, y1) (x2, y2) ->
+      match compare x1 x2 with 0 -> compare y1 y2 | c -> c)
+    arr;
+  let tot = n * (n - 1) / 2 in
+  let xtie = tie_pairs arr fst in
+  let xytie = tie_pairs arr (fun p -> p) in
+  let ys = Array.map snd arr in
+  let dis = count_inversions (Array.copy ys) in
+  (* y ties: sort by y *)
+  let by_y = Array.copy arr in
+  Array.sort (fun (_, y1) (_, y2) -> compare y1 y2) by_y;
+  let ytie = tie_pairs by_y snd in
+  let con_minus_dis =
+    float_of_int (tot - xtie - ytie + xytie - (2 * dis))
+  in
+  let denom =
+    sqrt (float_of_int (tot - xtie) *. float_of_int (tot - ytie))
+  in
+  if denom = 0.0 then nan else con_minus_dis /. denom

@@ -1,0 +1,12 @@
+(** Kendall's tau-b rank-correlation coefficient, with tie correction,
+    as used for throughput-predictor comparison [24].
+
+    [tau_b] runs in O(n log n) (merge-sort discordance counting);
+    [tau_b_naive] is the O(n²) definition, kept as the property-test
+    oracle. *)
+
+(** @raise Invalid_argument on lists of length < 2 or mismatched
+    lengths. Returns [nan] when either variable is constant. *)
+val tau_b : (float * float) list -> float
+
+val tau_b_naive : (float * float) list -> float

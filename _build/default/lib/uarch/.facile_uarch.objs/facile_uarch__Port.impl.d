@@ -1,0 +1,1 @@
+lib/uarch/port.ml: Format List Stdlib String

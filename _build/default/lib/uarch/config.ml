@@ -1,0 +1,243 @@
+type arch = SNB | IVB | HSW | BDW | SKL | CLX | ICL | TGL | RKL
+
+type port_map = {
+  alu : Port.t;
+  shift : Port.t;
+  branch : Port.t;
+  slow_int : Port.t;
+  divider : Port.t;
+  load : Port.t;
+  store_agu : Port.t;
+  store_data : Port.t;
+  lea : Port.t;
+  slow_lea : Port.t;
+  fp_add : Port.t;
+  fp_mul : Port.t;
+  fp_fma : Port.t;
+  vec_alu : Port.t;
+  vec_imul : Port.t;
+  shuffle : Port.t;
+  vec_shift : Port.t;
+}
+
+type t = {
+  arch : arch;
+  name : string;
+  abbrev : string;
+  released : int;
+  cpu : string;
+  n_decoders : int;
+  predecode_width : int;
+  issue_width : int;
+  dsb_width : int;
+  idq_size : int;
+  lsd_enabled : bool;
+  lsd_unroll_max : int;
+  lsd_unroll_target : int;
+  macro_fusible_on_last_decoder : bool;
+  macro_fusion : bool;
+  jcc_erratum : bool;
+  mov_elim_gpr : bool;
+  mov_elim_vec : bool;
+  unlamination_simple_ok : bool;
+  rob_size : int;
+  rs_size : int;
+  load_latency : int;
+  has_avx2_fma : bool;
+  ports : Port.t;
+  pm : port_map;
+}
+
+let p = Port.of_list
+
+(* Sandy Bridge / Ivy Bridge: six ports, shared load/store-address AGUs
+   on p2/p3, FP add on p1, FP mul on p0. *)
+let pm_snb =
+  { alu = p [ 0; 1; 5 ];
+    shift = p [ 0; 5 ];
+    branch = p [ 5 ];
+    slow_int = p [ 1 ];
+    divider = p [ 0 ];
+    load = p [ 2; 3 ];
+    store_agu = p [ 2; 3 ];
+    store_data = p [ 4 ];
+    lea = p [ 1; 5 ];
+    slow_lea = p [ 1 ];
+    fp_add = p [ 1 ];
+    fp_mul = p [ 0 ];
+    fp_fma = Port.empty;
+    vec_alu = p [ 0; 1; 5 ];
+    vec_imul = p [ 0 ];
+    shuffle = p [ 5 ];
+    vec_shift = p [ 0 ] }
+
+(* Haswell / Broadwell: eight ports, p6 branch/ALU, p7 simple store AGU,
+   two FMA units on p0/p1 (FP add only p1 on HSW). *)
+let pm_hsw =
+  { alu = p [ 0; 1; 5; 6 ];
+    shift = p [ 0; 6 ];
+    branch = p [ 0; 6 ];
+    slow_int = p [ 1 ];
+    divider = p [ 0 ];
+    load = p [ 2; 3 ];
+    store_agu = p [ 2; 3; 7 ];
+    store_data = p [ 4 ];
+    lea = p [ 1; 5 ];
+    slow_lea = p [ 1 ];
+    fp_add = p [ 1 ];
+    fp_mul = p [ 0; 1 ];
+    fp_fma = p [ 0; 1 ];
+    vec_alu = p [ 0; 1; 5 ];
+    vec_imul = p [ 0 ];
+    shuffle = p [ 5 ];
+    vec_shift = p [ 0 ] }
+
+(* Skylake / Cascade Lake: FP add/mul/FMA unified on p0/p1. *)
+let pm_skl =
+  { pm_hsw with
+    fp_add = p [ 0; 1 ];
+    fp_mul = p [ 0; 1 ];
+    fp_fma = p [ 0; 1 ];
+    vec_imul = p [ 0; 1 ];
+    vec_shift = p [ 0; 1 ] }
+
+(* Ice Lake family: dedicated store AGUs on p7/p8, second shuffle unit
+   on p1. TGL/RKL add a second store-data port (p9). *)
+let pm_icl =
+  { alu = p [ 0; 1; 5; 6 ];
+    shift = p [ 0; 6 ];
+    branch = p [ 0; 6 ];
+    slow_int = p [ 1 ];
+    divider = p [ 0 ];
+    load = p [ 2; 3 ];
+    store_agu = p [ 7; 8 ];
+    store_data = p [ 4 ];
+    lea = p [ 1; 5 ];
+    slow_lea = p [ 1 ];
+    fp_add = p [ 0; 1 ];
+    fp_mul = p [ 0; 1 ];
+    fp_fma = p [ 0; 1 ];
+    vec_alu = p [ 0; 1; 5 ];
+    vec_imul = p [ 0; 1 ];
+    shuffle = p [ 1; 5 ];
+    vec_shift = p [ 0; 1 ] }
+
+let pm_tgl = { pm_icl with store_data = p [ 4; 9 ] }
+
+let ports_of_pm pm =
+  List.fold_left Port.union Port.empty
+    [ pm.alu; pm.shift; pm.branch; pm.slow_int; pm.divider; pm.load;
+      pm.store_agu; pm.store_data; pm.lea; pm.slow_lea; pm.fp_add;
+      pm.fp_mul; pm.fp_fma; pm.vec_alu; pm.vec_imul; pm.shuffle;
+      pm.vec_shift ]
+
+let mk ~arch ~name ~abbrev ~released ~cpu ~issue_width ~dsb_width ~idq_size
+    ~lsd_enabled ~jcc_erratum ~mov_elim_gpr ~mov_elim_vec
+    ~unlamination_simple_ok ~rob_size ~rs_size ~load_latency ~has_avx2_fma
+    ~macro_fusible_on_last_decoder pm =
+  { arch; name; abbrev; released; cpu;
+    n_decoders = 4;
+    predecode_width = 5;
+    issue_width; dsb_width; idq_size; lsd_enabled;
+    lsd_unroll_max = 8;
+    lsd_unroll_target = 4 * issue_width;
+    macro_fusible_on_last_decoder;
+    macro_fusion = true;
+    jcc_erratum;
+    mov_elim_gpr; mov_elim_vec; unlamination_simple_ok;
+    rob_size; rs_size; load_latency; has_avx2_fma;
+    ports = ports_of_pm pm;
+    pm }
+
+let snb =
+  mk ~arch:SNB ~name:"Sandy Bridge" ~abbrev:"SNB" ~released:2011
+    ~cpu:"Intel Core i7-2600" ~issue_width:4 ~dsb_width:4 ~idq_size:28
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:false
+    ~mov_elim_vec:false ~unlamination_simple_ok:false ~rob_size:168
+    ~rs_size:54 ~load_latency:4 ~has_avx2_fma:false
+    ~macro_fusible_on_last_decoder:false pm_snb
+
+let ivb =
+  mk ~arch:IVB ~name:"Ivy Bridge" ~abbrev:"IVB" ~released:2012
+    ~cpu:"Intel Core i5-3470" ~issue_width:4 ~dsb_width:4 ~idq_size:28
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:true
+    ~mov_elim_vec:true ~unlamination_simple_ok:false ~rob_size:168
+    ~rs_size:54 ~load_latency:4 ~has_avx2_fma:false
+    ~macro_fusible_on_last_decoder:false pm_snb
+
+let hsw =
+  mk ~arch:HSW ~name:"Haswell" ~abbrev:"HSW" ~released:2013
+    ~cpu:"Intel Xeon E3-1225 v3" ~issue_width:4 ~dsb_width:4 ~idq_size:56
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:true
+    ~mov_elim_vec:true ~unlamination_simple_ok:false ~rob_size:192
+    ~rs_size:60 ~load_latency:4 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:false pm_hsw
+
+let bdw =
+  mk ~arch:BDW ~name:"Broadwell" ~abbrev:"BDW" ~released:2015
+    ~cpu:"Intel Core i5-5200U" ~issue_width:4 ~dsb_width:4 ~idq_size:56
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:true
+    ~mov_elim_vec:true ~unlamination_simple_ok:false ~rob_size:192
+    ~rs_size:64 ~load_latency:4 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:false pm_hsw
+
+let skl =
+  mk ~arch:SKL ~name:"Skylake" ~abbrev:"SKL" ~released:2015
+    ~cpu:"Intel Core i7-6500U" ~issue_width:4 ~dsb_width:6 ~idq_size:64
+    ~lsd_enabled:false (* SKL150 erratum *) ~jcc_erratum:true
+    ~mov_elim_gpr:true ~mov_elim_vec:true ~unlamination_simple_ok:true
+    ~rob_size:224 ~rs_size:97 ~load_latency:4 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:true pm_skl
+
+let clx =
+  mk ~arch:CLX ~name:"Cascade Lake" ~abbrev:"CLX" ~released:2019
+    ~cpu:"Intel Core i9-10980XE" ~issue_width:4 ~dsb_width:6 ~idq_size:64
+    ~lsd_enabled:false ~jcc_erratum:true ~mov_elim_gpr:true
+    ~mov_elim_vec:true ~unlamination_simple_ok:true ~rob_size:224
+    ~rs_size:97 ~load_latency:4 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:true pm_skl
+
+let icl =
+  mk ~arch:ICL ~name:"Ice Lake" ~abbrev:"ICL" ~released:2019
+    ~cpu:"Intel Core i5-1035G1" ~issue_width:5 ~dsb_width:6 ~idq_size:70
+    ~lsd_enabled:true ~jcc_erratum:false
+    ~mov_elim_gpr:false (* disabled by microcode on the ICL family *)
+    ~mov_elim_vec:true ~unlamination_simple_ok:true ~rob_size:352
+    ~rs_size:160 ~load_latency:5 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:true pm_icl
+
+let tgl =
+  mk ~arch:TGL ~name:"Tiger Lake" ~abbrev:"TGL" ~released:2020
+    ~cpu:"Intel Core i7-1165G7" ~issue_width:5 ~dsb_width:6 ~idq_size:70
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:false
+    ~mov_elim_vec:true ~unlamination_simple_ok:true ~rob_size:352
+    ~rs_size:160 ~load_latency:5 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:true pm_tgl
+
+let rkl =
+  mk ~arch:RKL ~name:"Rocket Lake" ~abbrev:"RKL" ~released:2021
+    ~cpu:"Intel Core i9-11900" ~issue_width:5 ~dsb_width:6 ~idq_size:70
+    ~lsd_enabled:true ~jcc_erratum:false ~mov_elim_gpr:false
+    ~mov_elim_vec:true ~unlamination_simple_ok:true ~rob_size:352
+    ~rs_size:160 ~load_latency:5 ~has_avx2_fma:true
+    ~macro_fusible_on_last_decoder:true pm_tgl
+
+let all = [ snb; ivb; hsw; bdw; skl; clx; icl; tgl; rkl ]
+
+let by_arch a = List.find (fun c -> c.arch = a) all
+
+let of_abbrev s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun c -> c.abbrev = s) all
+
+let arch_name a = (by_arch a).name
+
+let lsd_unroll cfg n =
+  if n <= 0 then 1
+  else
+    let rec go u =
+      if u >= cfg.lsd_unroll_max then cfg.lsd_unroll_max
+      else if n * u >= cfg.lsd_unroll_target then u
+      else go (u + 1)
+    in
+    go 1

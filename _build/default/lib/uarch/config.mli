@@ -1,0 +1,74 @@
+(** Microarchitecture configurations for the nine Intel Core
+    generations evaluated in the paper (Table 1), mirroring the role of
+    uiCA's [microArchConfigs.py].
+
+    Parameter values follow publicly documented characteristics
+    (issue width, buffer sizes, port layouts, the SKL150 LSD erratum,
+    the JCC erratum mitigation); see DESIGN.md for the approximations
+    made where exact values are not public. *)
+
+type arch = SNB | IVB | HSW | BDW | SKL | CLX | ICL | TGL | RKL
+
+(** Dispatch-port sets for the operation categories used by the
+    instruction database. *)
+type port_map = {
+  alu : Port.t;          (** simple integer ALU *)
+  shift : Port.t;        (** shifts and rotates *)
+  branch : Port.t;       (** taken/conditional branch unit *)
+  slow_int : Port.t;     (** imul, popcnt, lzcnt, bit scans *)
+  divider : Port.t;      (** integer and FP divide *)
+  load : Port.t;         (** load AGU + data *)
+  store_agu : Port.t;    (** store-address generation *)
+  store_data : Port.t;
+  lea : Port.t;          (** fast (2-component) LEA *)
+  slow_lea : Port.t;     (** 3-component / scaled-index LEA *)
+  fp_add : Port.t;
+  fp_mul : Port.t;
+  fp_fma : Port.t;
+  vec_alu : Port.t;      (** SIMD integer / logical *)
+  vec_imul : Port.t;     (** pmulld, pmuludq *)
+  shuffle : Port.t;
+  vec_shift : Port.t;
+}
+
+type t = {
+  arch : arch;
+  name : string;
+  abbrev : string;
+  released : int;
+  cpu : string;                 (** representative CPU from Table 1 *)
+  n_decoders : int;
+  predecode_width : int;        (** instructions predecoded per cycle *)
+  issue_width : int;
+  dsb_width : int;              (** µops the DSB delivers per cycle *)
+  idq_size : int;               (** µop capacity of the IDQ (LSD window) *)
+  lsd_enabled : bool;
+  lsd_unroll_max : int;         (** maximum LSD unroll factor *)
+  lsd_unroll_target : int;      (** unroll until [n * u >= target] *)
+  macro_fusible_on_last_decoder : bool;
+  macro_fusion : bool;          (** CMP/TEST (+ALU) fuse with Jcc *)
+  jcc_erratum : bool;           (** mitigation for the JCC erratum active *)
+  mov_elim_gpr : bool;          (** register moves eliminated at rename *)
+  mov_elim_vec : bool;
+  unlamination_simple_ok : bool;
+  (** on SKL+ micro-fused µops with indexed addressing stay fused unless
+      the instruction has additional register sources *)
+  rob_size : int;
+  rs_size : int;
+  load_latency : int;
+  has_avx2_fma : bool;          (** FMA instructions available (HSW+) *)
+  ports : Port.t;               (** all execution ports *)
+  pm : port_map;
+}
+
+(** All nine configurations, oldest (SNB) first. *)
+val all : t list
+
+val by_arch : arch -> t
+val of_abbrev : string -> t option
+val arch_name : arch -> string
+
+(** [lsd_unroll cfg n] is the LSD unroll factor for a loop of [n]
+    fused-domain µops: the smallest [u <= lsd_unroll_max] such that
+    [n * u >= lsd_unroll_target] (or [lsd_unroll_max] if none). *)
+val lsd_unroll : t -> int -> int

@@ -1,0 +1,30 @@
+type t = int
+
+let empty = 0
+let singleton i = 1 lsl i
+let of_list l = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 l
+
+let to_list m =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if m land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 15 []
+
+let cardinal m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let union = ( lor )
+let inter = ( land )
+let mem i m = m land (1 lsl i) <> 0
+let subset a b = a land lnot b = 0
+let equal (a : t) b = a = b
+let compare = Stdlib.compare
+let is_empty m = m = 0
+
+let to_string m =
+  if m = 0 then "none"
+  else "p" ^ String.concat "" (List.map string_of_int (to_list m))
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

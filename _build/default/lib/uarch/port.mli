@@ -1,0 +1,29 @@
+(** Execution-port sets, represented as bit masks over port indices
+    0 through 15. Facile's Ports component manipulates these
+    combinations heavily, so the representation is a plain [int]. *)
+
+type t = private int
+
+val empty : t
+val of_list : int list -> t
+val to_list : t -> int list
+val singleton : int -> t
+
+(** Number of ports in the set. *)
+val cardinal : t -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val mem : int -> t -> bool
+
+(** [subset a b] holds when every port of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+
+(** Prints in the conventional "p015" style. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/x86/asm.ml: Buffer Encode Filename Inst Int64 List Operand Register String

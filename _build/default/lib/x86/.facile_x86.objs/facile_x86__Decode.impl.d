@@ -1,0 +1,1 @@
+lib/x86/decode.ml: Char Encode Inst Int64 List Operand Printf Register Sse_table String

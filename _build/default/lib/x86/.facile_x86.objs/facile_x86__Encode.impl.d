@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Char Inst Int64 List Operand Option Register Sse_table String

@@ -1,0 +1,1 @@
+lib/x86/inst.ml: Format List Operand Option String

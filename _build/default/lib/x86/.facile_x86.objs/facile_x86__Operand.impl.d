@@ -1,0 +1,1 @@
+lib/x86/operand.ml: Format Int64 Register

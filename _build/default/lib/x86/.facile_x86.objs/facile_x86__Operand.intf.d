@@ -1,0 +1,1 @@
+lib/x86/operand.mli: Format Register

@@ -1,0 +1,1 @@
+lib/x86/register.ml: Array Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/x86/semantics.ml: Format Inst List Operand Register

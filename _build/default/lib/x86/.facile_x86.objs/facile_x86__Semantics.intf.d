@@ -1,0 +1,1 @@
+lib/x86/semantics.mli: Format Inst Register

@@ -1,0 +1,1 @@
+lib/x86/sse_table.ml: Inst List

@@ -1,0 +1,198 @@
+let print_inst = Inst.to_string
+
+let print_block insts =
+  String.concat "\n" (List.map print_inst insts)
+
+(* ------------------------------------------------------------------ *)
+
+let trim = String.trim
+
+let split_on_string ~sep s =
+  (* split on a single character separator, keeping empty fields out *)
+  String.split_on_char sep s |> List.map trim |> List.filter (( <> ) "")
+
+let parse_int s =
+  let s = trim s in
+  match int_of_string_opt s with
+  | Some v -> Some v
+  | None -> None
+
+let size_keywords =
+  [ "byte", 1; "word", 2; "dword", 4; "qword", 8;
+    "xmmword", 16; "ymmword", 32 ]
+
+(* Parse the inside of a bracketed memory expression:
+   terms separated by '+' or '-', each a register, reg*scale, or
+   displacement. *)
+let parse_mem_body body ~width =
+  let buf = Buffer.create 16 in
+  let terms = ref [] in
+  let flush sign =
+    if Buffer.length buf > 0 then begin
+      terms := (sign, Buffer.contents buf) :: !terms;
+      Buffer.clear buf
+    end
+  in
+  let sign = ref 1 in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '+' -> flush !sign; sign := 1
+      | '-' -> flush !sign; sign := -1
+      | ' ' | '\t' -> ()
+      | c -> Buffer.add_char buf c)
+    body;
+  flush !sign;
+  let terms = List.rev !terms in
+  let base = ref None and index = ref None and disp = ref 0 in
+  let err = ref None in
+  let set_err m = if !err = None then err := Some m in
+  let add_reg sign name scale =
+    if sign < 0 then set_err "negative register term"
+    else
+      match Register.of_name name with
+      | Some (Register.Gpr (Register.W64, g)) ->
+        (match scale with
+         | None ->
+           if !base = None then base := Some g
+           else if !index = None then index := Some (g, Operand.S1)
+           else set_err "too many registers in address"
+         | Some k ->
+           (match Operand.scale_of_int k with
+            | Some s ->
+              if !index = None then index := Some (g, s)
+              else set_err "two scaled index registers"
+            | None -> set_err "bad scale factor"))
+      | Some _ -> set_err "address registers must be 64-bit"
+      | None -> set_err ("unknown register: " ^ name)
+  in
+  List.iter
+    (fun (sign, t) ->
+      match String.index_opt t '*' with
+      | Some k ->
+        let l = String.sub t 0 k in
+        let r = String.sub t (k + 1) (String.length t - k - 1) in
+        (match parse_int r with
+         | Some sc -> add_reg sign l (Some sc)
+         | None ->
+           (match parse_int l with
+            | Some sc -> add_reg sign r (Some sc)
+            | None -> set_err ("bad scaled term: " ^ t)))
+      | None ->
+        (match parse_int t with
+         | Some v -> disp := !disp + (sign * v)
+         | None -> add_reg sign t None))
+    terms;
+  match !err with
+  | Some m -> Error m
+  | None ->
+    (try Ok (Operand.mem ?base:!base ?index:!index ~disp:!disp ~width ())
+     with Invalid_argument m -> Error m)
+
+let parse_operand s =
+  let s = trim s in
+  if s = "" then Error "empty operand"
+  else
+    match Register.of_name s with
+    | Some r -> Ok (Operand.Reg r)
+    | None ->
+      if String.contains s '[' then begin
+        (* optional "<size> ptr" prefix *)
+        let lb = String.index s '[' in
+        let head = trim (String.sub s 0 lb) in
+        let width =
+          let head = String.lowercase_ascii head in
+          let head =
+            match Filename.check_suffix head "ptr" with
+            | true -> trim (Filename.chop_suffix head "ptr")
+            | false -> head
+          in
+          if head = "" then 0
+          else match List.assoc_opt head size_keywords with
+            | Some w -> w
+            | None -> -1
+        in
+        if width < 0 then Error ("unknown size keyword: " ^ head)
+        else
+          match String.index_opt s ']' with
+          | None -> Error "missing ']'"
+          | Some rb when rb > lb ->
+            parse_mem_body (String.sub s (lb + 1) (rb - lb - 1)) ~width
+          | Some _ -> Error "malformed memory operand"
+      end
+      else
+        match Int64.of_string_opt s with
+        | Some v -> Ok (Operand.Imm v)
+        | None -> Error ("cannot parse operand: " ^ s)
+
+(* If a memory operand was written without a size keyword, infer its
+   width from a sibling register operand, or from the mnemonic for
+   vector instructions. *)
+let fixup_widths mnem ops =
+  let reg_width =
+    List.find_map
+      (function
+        | Operand.Reg (Register.Gpr (w, _)) -> Some (Register.width_bytes w)
+        | Operand.Reg (Register.Xmm _) ->
+          Some (Inst.vec_mem_width ~w:false ~ymm:false mnem)
+        | Operand.Reg (Register.Ymm _) ->
+          Some (Inst.vec_mem_width ~w:false ~ymm:true mnem)
+        | _ -> None)
+      ops
+  in
+  List.map
+    (function
+      | Operand.Mem m when m.Operand.width = 0 ->
+        (match reg_width with
+         | Some w -> Operand.Mem { m with Operand.width = w }
+         | None -> Operand.Mem { m with Operand.width = 8 })
+      | op -> op)
+    ops
+
+let parse_inst s =
+  let s = trim s in
+  let mnem_str, rest =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some k -> (String.sub s 0 k, String.sub s (k + 1) (String.length s - k - 1))
+  in
+  match Inst.mnemonic_of_name mnem_str with
+  | None -> Error ("unknown mnemonic: " ^ mnem_str)
+  | Some mnem ->
+    let rec parse_ops acc = function
+      | [] -> Ok (List.rev acc)
+      | o :: rest ->
+        (match parse_operand o with
+         | Ok op -> parse_ops (op :: acc) rest
+         | Error _ as e -> e)
+    in
+    (match parse_ops [] (split_on_string ~sep:',' rest) with
+     | Ok ops ->
+       let inst = Inst.make mnem (fixup_widths mnem ops) in
+       (* validate the operand shape by encoding *)
+       (match Encode.encode inst with
+        | _ -> Ok inst
+        | exception Encode.Unencodable m ->
+          Error ("invalid operand combination: " ^ m))
+     | Error m -> Error m)
+
+let parse_block s =
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some k -> String.sub line 0 k
+    | None -> line
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.concat_map (String.split_on_char ';')
+    |> List.map (fun l -> trim (strip_comment l))
+    |> List.filter (( <> ) "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest ->
+      (match parse_inst l with
+       | Ok i -> go (i :: acc) rest
+       | Error m -> Error (m ^ " (in: " ^ l ^ ")"))
+  in
+  go [] lines

@@ -1,0 +1,21 @@
+(** Intel-syntax assembly parser and printer for the supported subset.
+
+    The printer ({!print_block}) and parser ({!parse_block}) round-trip:
+    parsing a printed block yields the original instructions. The parser
+    also accepts minor variations (missing size keywords when the width
+    is implied by a register operand, condition-code synonyms like
+    [jz] / [jnz], hex or decimal immediates). *)
+
+(** [parse_inst s] parses one instruction, e.g.
+    ["add rax, qword ptr [rbx+rcx*8+16]"]. *)
+val parse_inst : string -> (Inst.t, string) result
+
+(** [parse_block s] parses a whole block: one instruction per line
+    (or [;]-separated); [#] starts a comment. *)
+val parse_block : string -> (Inst.t list, string) result
+
+(** [print_inst i] is the canonical Intel-syntax rendering of [i]. *)
+val print_inst : Inst.t -> string
+
+(** [print_block insts] renders one instruction per line. *)
+val print_block : Inst.t list -> string

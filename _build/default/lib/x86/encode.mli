@@ -1,0 +1,40 @@
+(** x86-64 machine-code encoder.
+
+    Produces real instruction encodings (legacy prefixes, REX, VEX,
+    ModRM/SIB, displacements, immediates) together with the layout
+    metadata the Facile front-end components need: total length, the
+    offset of the nominal opcode (the first byte that is not a legacy or
+    REX prefix), and whether the instruction carries a length-changing
+    prefix (LCP). *)
+
+type encoded = {
+  bytes : string;      (** the machine code, 1 to 15 bytes *)
+  opcode_off : int;    (** offset of the first non-prefix byte *)
+  has_lcp : bool;      (** 66H prefix together with a 16-bit immediate *)
+}
+
+exception Unencodable of string
+(** Raised when an instruction/operand combination has no encoding in
+    the supported subset (e.g. a three-operand ADD). The message names
+    the offending instruction. *)
+
+(** [encode i] encodes one instruction.
+    @raise Unencodable on unsupported operand combinations. *)
+val encode : Inst.t -> encoded
+
+(** [length i] is [String.length (encode i).bytes]. *)
+val length : Inst.t -> int
+
+(** Per-instruction layout within an encoded block. *)
+type layout = {
+  inst : Inst.t;
+  off : int;          (** byte offset of the instruction in the block *)
+  len : int;
+  nominal_opcode_off : int;  (** block-relative offset of the nominal opcode *)
+  lcp : bool;
+}
+
+(** [encode_block insts] encodes the instructions back to back starting
+    at offset 0 and returns the concatenated bytes plus the layout of
+    every instruction. *)
+val encode_block : Inst.t list -> string * layout list

@@ -1,0 +1,70 @@
+type scale = S1 | S2 | S4 | S8
+
+type mem = {
+  base : Register.gpr option;
+  index : (Register.gpr * scale) option;
+  disp : int;
+  width : int;
+}
+
+type t =
+  | Reg of Register.t
+  | Mem of mem
+  | Imm of int64
+
+let equal (a : t) (b : t) = a = b
+
+let scale_factor = function S1 -> 1 | S2 -> 2 | S4 -> 4 | S8 -> 8
+
+let scale_of_int = function
+  | 1 -> Some S1 | 2 -> Some S2 | 4 -> Some S4 | 8 -> Some S8
+  | _ -> None
+
+let mem ?base ?index ?(disp = 0) ~width () =
+  (match index with
+   | Some (Register.RSP, _) -> invalid_arg "Operand.mem: RSP cannot be an index"
+   | _ -> ());
+  Mem { base; index; disp; width }
+
+let reg r = Reg r
+let imm v = Imm (Int64.of_int v)
+
+let fits_i8 v = Int64.compare v (-128L) >= 0 && Int64.compare v 127L <= 0
+
+let fits_i32 v =
+  Int64.compare v (-2147483648L) >= 0 && Int64.compare v 2147483647L <= 0
+
+let size_keyword = function
+  | 1 -> "byte" | 2 -> "word" | 4 -> "dword" | 8 -> "qword"
+  | 16 -> "xmmword" | 32 -> "ymmword"
+  | n -> string_of_int n ^ "byte"
+
+let pp fmt = function
+  | Reg r -> Register.pp fmt r
+  | Imm v ->
+    if Int64.compare v 0L >= 0 && Int64.compare v 4096L < 0 then
+      Format.fprintf fmt "%Ld" v
+    else if Int64.compare v 0L < 0 && Int64.compare v (-65536L) > 0 then
+      Format.fprintf fmt "%Ld" v
+    else Format.fprintf fmt "0x%Lx" v
+  | Mem m ->
+    Format.fprintf fmt "%s ptr [" (size_keyword m.width);
+    let printed = ref false in
+    (match m.base with
+     | Some b ->
+       Format.fprintf fmt "%s" (Register.name (Register.Gpr (Register.W64, b)));
+       printed := true
+     | None -> ());
+    (match m.index with
+     | Some (i, s) ->
+       if !printed then Format.pp_print_string fmt "+";
+       Format.fprintf fmt "%s*%d"
+         (Register.name (Register.Gpr (Register.W64, i)))
+         (scale_factor s);
+       printed := true
+     | None -> ());
+    if m.disp <> 0 || not !printed then begin
+      if !printed && m.disp >= 0 then Format.pp_print_string fmt "+";
+      Format.fprintf fmt "%d" m.disp
+    end;
+    Format.pp_print_string fmt "]"

@@ -1,0 +1,48 @@
+(** Instruction operands: registers, memory references, and immediates. *)
+
+(** Index scale factor of a memory operand. *)
+type scale = S1 | S2 | S4 | S8
+
+(** A memory reference [\[base + index*scale + disp\]]. The index
+    register must not be RSP (not encodable). [width] is the access
+    size in bytes of the memory operand (1, 2, 4, 8, 16, or 32). *)
+type mem = {
+  base : Register.gpr option;
+  index : (Register.gpr * scale) option;
+  disp : int;
+  width : int;
+}
+
+type t =
+  | Reg of Register.t
+  | Mem of mem
+  | Imm of int64
+
+val equal : t -> t -> bool
+
+val scale_factor : scale -> int
+val scale_of_int : int -> scale option
+
+(** [mem ?base ?index ?disp ~width ()] builds a memory operand.
+    @raise Invalid_argument if the index register is RSP. *)
+val mem :
+  ?base:Register.gpr ->
+  ?index:Register.gpr * scale ->
+  ?disp:int ->
+  width:int ->
+  unit ->
+  t
+
+(** Convenience constructors. *)
+val reg : Register.t -> t
+
+val imm : int -> t
+
+(** [fits_i8 v] ([fits_i32 v]) holds when [v] is representable as a
+    sign-extended 8-bit (32-bit) immediate. *)
+val fits_i8 : int64 -> bool
+
+val fits_i32 : int64 -> bool
+
+(** Intel-syntax printer, e.g. [qword ptr \[rax+rbx*4+16\]]. *)
+val pp : Format.formatter -> t -> unit

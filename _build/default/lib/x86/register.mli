@@ -1,0 +1,52 @@
+(** x86-64 register model.
+
+    General-purpose registers are identified by a 64-bit base name and an
+    access width; vector registers by an index and a width class (XMM or
+    YMM). The predecoder, encoder, and dependence analysis all work on
+    this representation. *)
+
+(** The sixteen 64-bit general-purpose register files, in hardware
+    encoding order (RAX = 0, RCX = 1, ..., R15 = 15). *)
+type gpr =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+(** Access width of a general-purpose register operand. [W8] always
+    denotes the low byte (AL, R8B, ...); the high-byte registers (AH,
+    BH, ...) are not modeled. *)
+type width = W8 | W16 | W32 | W64
+
+type t =
+  | Gpr of width * gpr  (** e.g. [Gpr (W32, RAX)] is EAX *)
+  | Xmm of int          (** XMM0 .. XMM15 *)
+  | Ymm of int          (** YMM0 .. YMM15 *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [gpr_index r] is the 4-bit hardware encoding of [r]. *)
+val gpr_index : gpr -> int
+
+(** [gpr_of_index i] is the inverse of {!gpr_index}.
+    @raise Invalid_argument if [i] is outside [0, 15]. *)
+val gpr_of_index : int -> gpr
+
+(** All sixteen general-purpose registers, in encoding order. *)
+val all_gprs : gpr list
+
+(** [width_bytes w] is the operand size in bytes (1, 2, 4 or 8). *)
+val width_bytes : width -> int
+
+(** [full r] is the canonical full-width register containing [r]
+    (e.g. EAX and AX both map to RAX; XMM3 and YMM3 both map to YMM3).
+    Used as the renaming unit in dependence analysis. *)
+val full : t -> t
+
+(** [name r] is the conventional lower-case assembly name ("rax",
+    "r10d", "xmm4", ...). *)
+val name : t -> string
+
+(** [of_name s] parses a register name as printed by {!name}. *)
+val of_name : string -> t option
+
+val pp : Format.formatter -> t -> unit

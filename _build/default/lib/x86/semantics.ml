@@ -1,0 +1,165 @@
+type resource =
+  | Reg of Register.t
+  | Flags
+
+let resource_equal (a : resource) (b : resource) = a = b
+
+let pp_resource fmt = function
+  | Reg r -> Register.pp fmt r
+  | Flags -> Format.pp_print_string fmt "flags"
+
+let reg r = Reg (Register.full r)
+
+let gpr64 g = Reg (Register.Gpr (Register.W64, g))
+
+let dedup l =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] l
+  |> List.rev
+
+(* Address registers of all memory operands: always reads. *)
+let addr_reads ops =
+  List.concat_map
+    (function
+      | Operand.Mem m ->
+        let b = match m.Operand.base with Some g -> [ gpr64 g ] | None -> [] in
+        let i = match m.Operand.index with Some (g, _) -> [ gpr64 g ] | None -> [] in
+        b @ i
+      | _ -> [])
+    ops
+
+let op_reg = function Operand.Reg r -> [ reg r ] | _ -> []
+
+let nth ops n = match List.nth_opt ops n with Some o -> [ o ] | None -> []
+
+let reg_of ops n = List.concat_map op_reg (nth ops n)
+
+(* Value roles per mnemonic: which operand positions are read / written,
+   plus implicit resources. The scalar-SSE merge rule: a reg-reg scalar
+   operation also reads its destination (the upper lanes merge). *)
+
+let rax = gpr64 Register.RAX
+let rdx = gpr64 Register.RDX
+let rsp = gpr64 Register.RSP
+
+let scalar_merge_reads i =
+  (* movss/movsd/cvt* with a register source merge into dst *)
+  match i.Inst.ops with
+  | Operand.Reg _ :: Operand.Reg _ :: _ -> reg_of i.Inst.ops 0
+  | _ -> []
+
+let reads i =
+  let open Inst in
+  let ops = i.ops in
+  let explicit =
+    match i.mnem with
+    | ADD | SUB | AND | OR | XOR | SHL | SHR | SAR | ROL | ROR ->
+      reg_of ops 0 @ reg_of ops 1
+    | ADC | SBB -> reg_of ops 0 @ reg_of ops 1 @ [ Flags ]
+    | CMP | TEST | UCOMISS | UCOMISD -> reg_of ops 0 @ reg_of ops 1
+    | MOV | MOVZX | MOVSX | MOVSXD | BSF | BSR | POPCNT | LZCNT | TZCNT
+    | SQRTPS | SQRTPD | PSHUFD | VSQRTPS | VMOVAPS | VMOVUPS
+    | MOVAPS | MOVUPS | MOVAPD | MOVD | MOVQ ->
+      reg_of ops 1
+    | MOVSS | MOVSD | CVTSI2SD | CVTSI2SS | CVTSS2SD | CVTSD2SS ->
+      scalar_merge_reads i @ reg_of ops 1
+    | CVTTSD2SI | CVTDQ2PS | CVTPS2DQ | CVTTPS2DQ -> reg_of ops 1
+    | SQRTSS | SQRTSD -> scalar_merge_reads i @ reg_of ops 1
+    | LEA -> []
+    | CWDE | CDQE -> [ rax ]
+    | SHLD | SHRD -> reg_of ops 0 @ reg_of ops 1
+    | BT | BTS | BTR | BTC -> reg_of ops 0 @ reg_of ops 1
+    | MOVBE | MOVDQA | MOVDQU | VMOVDQA | VMOVDQU -> reg_of ops 1
+    | CLC | STC -> []
+    | CMC -> [ Flags ]
+    | ANDN | BZHI | SHLX | SHRX | SARX -> reg_of ops 1 @ reg_of ops 2
+    | INC | DEC | NEG | NOT | BSWAP -> reg_of ops 0
+    | IMUL ->
+      (match ops with
+       | [ _; _ ] -> reg_of ops 0 @ reg_of ops 1 (* dst * src *)
+       | _ -> reg_of ops 1 (* dst = src * imm *))
+    | MUL -> reg_of ops 0 @ [ rax ]
+    | DIV | IDIV -> reg_of ops 0 @ [ rax; rdx ]
+    | XCHG -> reg_of ops 0 @ reg_of ops 1
+    | PUSH -> reg_of ops 0 @ [ rsp ]
+    | POP -> [ rsp ]
+    | CDQ | CQO -> [ rax ]
+    | NOP | NOPL | JMP -> []
+    | Jcc _ | SETcc _ -> [ Flags ]
+    | CMOVcc _ -> [ Flags ] @ reg_of ops 0 @ reg_of ops 1
+    | ADDPS | ADDPD | ADDSS | ADDSD | SUBPS | SUBPD | SUBSS | SUBSD
+    | MULPS | MULPD | MULSS | MULSD | DIVPS | DIVPD | DIVSS | DIVSD
+    | MINPS | MAXPS | MINPD | MAXPD | MINSS | MAXSS | MINSD | MAXSD
+    | ANDPS | ANDPD | ORPS | XORPS | XORPD
+    | PXOR | POR | PAND | PADDB | PADDD | PADDQ | PSUBD
+    | PMULLD | PMULUDQ | PUNPCKLDQ
+    | PCMPEQB | PCMPEQD | PCMPGTD | PMAXSD | PMINSD | PMAXUB | PMINUB
+    | PSHUFB | PALIGNR | PACKSSDW | HADDPS | ROUNDSD
+    | SHUFPS | UNPCKHPS | UNPCKLPD ->
+      reg_of ops 0 @ reg_of ops 1
+    | PSLLD | PSRLD | PSLLDQ | PSRLDQ -> reg_of ops 0
+    | VADDPS | VADDPD | VSUBPS | VMULPS | VMULPD | VDIVPS | VXORPS
+    | VANDPS | VMINPS | VMAXPS | VPXOR | VPADDD | VPMULLD | VPAND | VPOR ->
+      reg_of ops 1 @ reg_of ops 2
+    | VFMADD231PS | VFMADD231PD | VFMADD231SS | VFMADD231SD
+    | VFMADD132PS | VFMADD213PS ->
+      reg_of ops 0 @ reg_of ops 1 @ reg_of ops 2
+  in
+  dedup (explicit @ addr_reads ops)
+
+let writes i =
+  let open Inst in
+  let ops = i.ops in
+  let dst0 =
+    match ops with
+    | Operand.Reg r :: _ -> [ reg r ]
+    | _ -> []
+  in
+  let result =
+    match i.mnem with
+    | ADD | SUB | ADC | SBB | AND | OR | XOR -> dst0 @ [ Flags ]
+    | CMP | TEST | UCOMISS | UCOMISD -> [ Flags ]
+    | MOV | MOVZX | MOVSX | MOVSXD | LEA | CMOVcc _ -> dst0
+    | SETcc _ -> dst0
+    | INC | DEC | NEG -> dst0 @ [ Flags ]
+    | NOT | BSWAP -> dst0
+    | IMUL -> dst0 @ [ Flags ]
+    | MUL | DIV | IDIV -> [ rax; rdx; Flags ]
+    | SHL | SHR | SAR | ROL | ROR -> dst0 @ [ Flags ]
+    | XCHG -> reg_of ops 0 @ reg_of ops 1
+    | PUSH -> [ rsp ]
+    | POP -> dst0 @ [ rsp ]
+    | BSF | BSR | POPCNT | LZCNT | TZCNT -> dst0 @ [ Flags ]
+    | CDQ | CQO -> [ rdx ]
+    | CWDE | CDQE -> [ rax ]
+    | SHLD | SHRD -> dst0 @ [ Flags ]
+    | BT -> [ Flags ]
+    | BTS | BTR | BTC -> dst0 @ [ Flags ]
+    | MOVBE -> dst0
+    | CLC | STC | CMC -> [ Flags ]
+    | ANDN | BZHI -> dst0 @ [ Flags ]
+    | SHLX | SHRX | SARX -> dst0
+    | NOP | NOPL | JMP | Jcc _ -> []
+    | MOVAPS | MOVUPS | MOVAPD | MOVSS | MOVSD | MOVDQA | MOVDQU
+    | MOVD | MOVQ
+    | ADDPS | ADDPD | ADDSS | ADDSD | SUBPS | SUBPD | SUBSS | SUBSD
+    | MULPS | MULPD | MULSS | MULSD | DIVPS | DIVPD | DIVSS | DIVSD
+    | MINPS | MAXPS | MINPD | MAXPD | MINSS | MAXSS | MINSD | MAXSD
+    | SQRTPS | SQRTPD | SQRTSS | SQRTSD
+    | ANDPS | ANDPD | ORPS | XORPS | XORPD
+    | HADDPS | ROUNDSD | SHUFPS | UNPCKHPS | UNPCKLPD
+    | PXOR | POR | PAND | PADDB | PADDD | PADDQ | PSUBD
+    | PMULLD | PMULUDQ | PUNPCKLDQ | PSHUFD | PSLLD | PSRLD
+    | PSLLDQ | PSRLDQ
+    | PCMPEQB | PCMPEQD | PCMPGTD | PMAXSD | PMINSD | PMAXUB | PMINUB
+    | PSHUFB | PALIGNR | PACKSSDW
+    | CVTSI2SD | CVTSI2SS | CVTTSD2SI | CVTSS2SD | CVTSD2SS
+    | CVTDQ2PS | CVTPS2DQ | CVTTPS2DQ
+    | VMOVAPS | VMOVUPS | VMOVDQA | VMOVDQU
+    | VADDPS | VADDPD | VSUBPS | VMULPS | VMULPD
+    | VDIVPS | VSQRTPS | VXORPS | VANDPS | VMINPS | VMAXPS
+    | VPXOR | VPADDD | VPMULLD | VPAND | VPOR
+    | VFMADD231PS | VFMADD231PD | VFMADD231SS | VFMADD231SD
+    | VFMADD132PS | VFMADD213PS ->
+      dst0
+  in
+  dedup result

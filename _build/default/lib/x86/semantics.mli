@@ -1,0 +1,24 @@
+(** Architectural read/write sets of instructions, used by the
+    dependence analysis (Facile's Precedence component) and by the
+    pipeline simulator's register renaming.
+
+    Registers are tracked at full width ({!Register.full}); partial
+    writes are treated as full writes, and the status flags are a single
+    resource. Memory is not a tracked resource (the modeling assumptions
+    exclude store-to-load aliasing), but address registers of memory
+    operands are reads. *)
+
+type resource =
+  | Reg of Register.t  (** always full-width canonical *)
+  | Flags
+
+val resource_equal : resource -> resource -> bool
+val pp_resource : Format.formatter -> resource -> unit
+
+(** [reads i] lists the resources whose values [i] consumes (register
+    sources, address registers, flags for conditional / carry-consuming
+    instructions, implicit accumulators). Duplicates are removed. *)
+val reads : Inst.t -> resource list
+
+(** [writes i] lists the resources [i] produces. Duplicates removed. *)
+val writes : Inst.t -> resource list

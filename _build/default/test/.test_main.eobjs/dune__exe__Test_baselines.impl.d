@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Asm Block Config Facile_baselines Facile_bhive Facile_core Facile_sim Facile_stats Facile_uarch Facile_x86 List Model Printf String

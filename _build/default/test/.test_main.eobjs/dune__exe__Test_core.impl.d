@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Asm Block Config Dec Dsb Facile_bhive Facile_core Facile_uarch Facile_x86 Float Inst Issue List Lsd Model Ports Precedence Predec Region String

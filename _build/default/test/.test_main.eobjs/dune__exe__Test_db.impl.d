@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Asm Config Db Facile_bhive Facile_db Facile_uarch Facile_x86 Inst List Port

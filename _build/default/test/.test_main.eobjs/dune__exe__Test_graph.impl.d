@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cycle_ratio Digraph Facile_graph Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_core Test_db Test_graph Test_sim Test_stats Test_x86

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Asm Block Config Facile_bhive Facile_core Facile_sim Facile_stats Facile_uarch Facile_x86 Float Inst List Model Operand Printf String

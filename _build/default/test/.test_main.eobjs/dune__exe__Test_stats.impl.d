@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive Error_metrics Facile_baselines Facile_bhive Facile_report Facile_stats Float Kendall List QCheck QCheck_alcotest String

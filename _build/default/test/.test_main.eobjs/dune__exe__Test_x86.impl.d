@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Asm Char Decode Encode Facile_bhive Facile_x86 Inst List Option Printf Register Semantics String

@@ -1,0 +1,468 @@
+open Facile_x86
+open Facile_uarch
+open Facile_core
+
+let parse_block s =
+  match Asm.parse_block s with
+  | Ok l -> l
+  | Error m -> Alcotest.failf "parse error: %s" m
+
+let skl = Config.by_arch Config.SKL
+let hsw = Config.by_arch Config.HSW
+let rkl = Config.by_arch Config.RKL
+let snb = Config.by_arch Config.SNB
+
+let block cfg s = Block.of_instructions cfg (parse_block s)
+
+let four_adds = "add rax, rbx\nadd rcx, rdx\nadd rsi, rdi\nadd r8, r9"
+
+let checkf = Alcotest.(check (float 1e-6))
+
+let component_tests =
+  [ Alcotest.test_case "issue width" `Quick (fun () ->
+        checkf "4 adds on SKL" 1.0 (Issue.throughput (block skl four_adds));
+        checkf "4 adds on RKL (5-wide)" 0.8
+          (Issue.throughput (block rkl four_adds)));
+    Alcotest.test_case "decoder steady state" `Quick (fun () ->
+        checkf "4 simple insts, 4 decoders" 1.0
+          (Dec.throughput (block skl four_adds));
+        (* 5 one-µop instructions on 4 decoders: 2 cycles / iteration
+           until wraparound evens out: steady state 1.25 *)
+        let five = four_adds ^ "\nadd r10, r11" in
+        checkf "5 simple insts" 1.25 (Dec.throughput (block skl five)));
+    Alcotest.test_case "simple decoder model" `Quick (fun () ->
+        checkf "simple dec, 4 insts" 1.0 (Dec.simple (block skl four_adds));
+        (* cvtsi2sd needs the complex decoder (2 fused µops) *)
+        let b = block skl "cvtsi2sd xmm0, rax\ncvtsi2sd xmm1, rbx" in
+        checkf "2 complex" 2.0 (Dec.simple b));
+    Alcotest.test_case "predecoder: 16 nops per 16-byte block" `Quick
+      (fun () ->
+        let b = block skl "nop" in
+        checkf "single nop" 0.25 (Predec.throughput ~mode:`Unrolled b);
+        checkf "simple predec" (1.0 /. 16.0) (Predec.simple b));
+    Alcotest.test_case "predecoder: 12-byte block of adds" `Quick (fun () ->
+        (* u = 4, 3 fetch blocks, L = [5;5;6], O = [0;1;0] -> 5 cycles *)
+        checkf "4 adds" 1.25
+          (Predec.throughput ~mode:`Unrolled (block skl four_adds)));
+    Alcotest.test_case "predecoder LCP penalty" `Quick (fun () ->
+        let no_lcp = Predec.throughput ~mode:`Loop (block skl four_adds) in
+        let lcp =
+          Predec.throughput ~mode:`Loop
+            (block skl "add ax, 0x1234\nadd rcx, rdx\nadd rsi, rdi")
+        in
+        Alcotest.(check bool) "LCP costs cycles" true (lcp > no_lcp);
+        (* one LCP instruction, one fetch block: 3-cycle penalty not
+           hidden: 1 + max(0, 3 - (1-1)) = 4 *)
+        checkf "isolated LCP" 4.0
+          (Predec.throughput ~mode:`Loop (block skl "add ax, 0x1234")));
+    Alcotest.test_case "DSB" `Quick (fun () ->
+        (* 4 µops, width 6, block < 32 bytes: ceil -> 1 cycle *)
+        checkf "short block rounds up" 1.0 (Dsb.throughput (block skl four_adds));
+        (* long block >= 32 bytes: fractional *)
+        let long =
+          String.concat "\n" (List.init 12 (fun _ -> "add rax, 0x12345"))
+        in
+        let b = block skl long in
+        Alcotest.(check bool) "block is long" true (b.Block.len >= 32);
+        checkf "12 uops / 6" 2.0 (Dsb.throughput b));
+    Alcotest.test_case "LSD" `Quick (fun () ->
+        (* HSW: enabled, issue 4, unroll target 16: n=4 -> u=4,
+           ceil(16/4)/4 = 1.0 *)
+        let b = block hsw four_adds in
+        Alcotest.(check bool) "applicable" true (Lsd.applicable b);
+        checkf "4 uops" 1.0 (Lsd.throughput b);
+        (* n=5 -> u=4 (20 >= 16): ceil(20/4)/4 = 1.25 *)
+        checkf "5 uops" 1.25
+          (Lsd.throughput (block hsw (four_adds ^ "\nadd r10, r11")));
+        (* SKL: LSD disabled by the SKL150 erratum *)
+        Alcotest.(check bool) "SKL disabled" false
+          (Lsd.applicable (block skl four_adds)));
+    Alcotest.test_case "ports" `Quick (fun () ->
+        (* 4 ALU µops on p0156 -> 1.0 *)
+        checkf "alu spread" 1.0 (Ports.throughput (block skl four_adds));
+        (* shuffles are p5-only on SKL *)
+        checkf "3 shuffles on one port" 3.0
+          (Ports.throughput
+             (block skl
+                "pshufd xmm0, xmm1, 0\npshufd xmm2, xmm3, 0\npshufd xmm4, xmm5, 0"));
+        (* 2 p5-only shuffles dominate: bound 2/1 beats 6 µops on the
+           four ALU ports (p5 is one of them), 6/4 = 1.5 *)
+        let b =
+          block skl
+            "pshufd xmm0, xmm1, 0\npshufd xmm2, xmm3, 0\nadd rax, rbx\nadd rcx, rdx\nadd rsi, rdi\nadd r8, r9"
+        in
+        checkf "mixed contention" 2.0 (Ports.throughput b);
+        (* with a single shuffle the pair-union bound takes over:
+           5 µops on p0156 -> 1.25 *)
+        let b2 =
+          block skl
+            "pshufd xmm0, xmm1, 0\nadd rax, rbx\nadd rcx, rdx\nadd rsi, rdi\nadd r8, r9"
+        in
+        checkf "union bound" 1.25 (Ports.throughput b2));
+    Alcotest.test_case "ports: pairwise heuristic = exhaustive bound" `Quick
+      (fun () ->
+        (* the paper reports the pairwise heuristic matches the LP bound
+           on all BHive benchmarks; we verify it on our corpus and on
+           all µarchs *)
+        let cases = Facile_bhive.Suite.corpus ~seed:29 ~size:120 () in
+        List.iter
+          (fun cfg ->
+            List.iter
+              (fun (c : Facile_bhive.Suite.case) ->
+                let b = Block.of_instructions cfg c.Facile_bhive.Suite.loop in
+                let fast = Ports.throughput b in
+                let exact = Ports.throughput_exhaustive b in
+                if abs_float (fast -. exact) > 1e-9 then
+                  Alcotest.failf
+                    "case %d on %s: pairwise %.4f <> exhaustive %.4f"
+                    c.Facile_bhive.Suite.id cfg.Config.abbrev fast exact)
+              cases)
+          [ skl; snb; rkl ]);
+    Alcotest.test_case "precedence chains" `Quick (fun () ->
+        checkf "independent adds" 1.0
+          (Precedence.throughput (block skl four_adds));
+        checkf "two-add chain" 2.0
+          (Precedence.throughput (block skl "add rax, rbx\nadd rax, rcx"));
+        checkf "imul self-chain" 3.0
+          (Precedence.throughput (block skl "imul rax, rbx"));
+        (* load in the chain: the configured L1 latency *)
+        checkf "pointer chase"
+          (float_of_int skl.Config.load_latency)
+          (Precedence.throughput (block skl "mov rax, qword ptr [rax]"));
+        checkf "pointer chase ICL"
+          (float_of_int (Config.by_arch Config.ICL).Config.load_latency)
+          (Precedence.throughput
+             (block (Config.by_arch Config.ICL) "mov rax, qword ptr [rax]"));
+        (* zero idiom breaks the chain *)
+        checkf "xor breaks dep" 1.0
+          (Precedence.throughput
+             (block skl "xor rax, rax\nadd rax, rbx\nadd rcx, rax")));
+    Alcotest.test_case "precedence: howard = lawler on blocks" `Quick
+      (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:11 ~size:60 () in
+        List.iter
+          (fun (c : Facile_bhive.Suite.case) ->
+            let b = Block.of_instructions skl c.Facile_bhive.Suite.loop in
+            let h = Precedence.throughput b in
+            let l = Precedence.throughput_lawler b in
+            if abs_float (h -. l) > 1e-5 then
+              Alcotest.failf "howard %f <> lawler %f on case %d" h l
+                c.Facile_bhive.Suite.id)
+          cases) ]
+
+let fusion_tests =
+  [ Alcotest.test_case "macro fusion" `Quick (fun () ->
+        let b = block skl "cmp rax, rbx\njne -10" in
+        Alcotest.(check int) "one logical inst" 1
+          (List.length b.Block.logicals);
+        Alcotest.(check int) "one fused µop" 1 (Block.fused_uops b);
+        (* SNB fuses CMP but the pair still exists *)
+        let b2 = block snb "cmp rax, rbx\njne -10" in
+        Alcotest.(check int) "SNB fuses cmp+jcc" 1
+          (List.length b2.Block.logicals);
+        (* inc+jcc does not fuse on SNB *)
+        let b3 = block snb "inc rax\njne -10" in
+        Alcotest.(check int) "SNB no inc fusion" 2
+          (List.length b3.Block.logicals);
+        let b4 = block skl "inc rax\njne -10" in
+        Alcotest.(check int) "SKL inc fusion" 1
+          (List.length b4.Block.logicals));
+    Alcotest.test_case "mov elimination" `Quick (fun () ->
+        let elim cfg s =
+          (List.hd (block cfg s).Block.logicals).Block.eliminated
+        in
+        Alcotest.(check bool) "SKL eliminates mov r,r" true
+          (elim skl "mov rax, rbx");
+        Alcotest.(check bool) "SNB does not" false (elim snb "mov rax, rbx");
+        Alcotest.(check bool) "ICL gpr elim disabled" false
+          (elim (Config.by_arch Config.ICL) "mov rax, rbx");
+        Alcotest.(check bool) "ICL still eliminates vec" true
+          (elim (Config.by_arch Config.ICL) "movaps xmm0, xmm1");
+        Alcotest.(check bool) "zero idiom" true (elim skl "xor rax, rax"));
+    Alcotest.test_case "unlamination" `Quick (fun () ->
+        (* indexed RMW unlaminates everywhere *)
+        let b = block hsw "add qword ptr [rax+rbx*8], rcx" in
+        let l = List.hd b.Block.logicals in
+        Alcotest.(check int) "HSW fused" 2 l.Block.fused_uops;
+        Alcotest.(check int) "HSW issued" 4 l.Block.issued_uops;
+        (* simple addressing stays fused *)
+        let b2 = block hsw "add qword ptr [rax], rcx" in
+        let l2 = List.hd b2.Block.logicals in
+        Alcotest.(check int) "simple stays fused" 2 l2.Block.issued_uops;
+        (* SKL keeps an indexed load-op with one register source fused *)
+        let b3 = block skl "add rcx, qword ptr [rax+rbx*8]" in
+        let l3 = List.hd b3.Block.logicals in
+        Alcotest.(check int) "SKL load-op" 1 l3.Block.fused_uops) ]
+
+let model_tests =
+  [ Alcotest.test_case "TP_U combination" `Quick (fun () ->
+        let p = Model.predict_u (block skl four_adds) in
+        (* Predec 1.25 dominates Dec/Issue/Ports/Precedence (all 1.0) *)
+        checkf "cycles" 1.25 p.Model.cycles;
+        Alcotest.(check bool) "predec bottleneck" true
+          (List.mem Model.Predec p.Model.bottlenecks));
+    Alcotest.test_case "TP_L uses LSD on HSW" `Quick (fun () ->
+        let insts = parse_block four_adds in
+        let looped = Facile_bhive.Genblock.looped insts in
+        let b = Block.of_instructions hsw looped in
+        let p = Model.predict_l b in
+        Alcotest.(check bool) "fe path lsd" true (p.Model.fe_path = Model.FE_lsd));
+    Alcotest.test_case "TP_L uses DSB on SKL (LSD off)" `Quick (fun () ->
+        let insts = parse_block four_adds in
+        let b = Block.of_instructions skl (Facile_bhive.Genblock.looped insts) in
+        let p = Model.predict_l b in
+        (* the 5-byte loop ends well inside the first 32-byte window;
+           no erratum trigger at offset 12 *)
+        Alcotest.(check bool) "fe path dsb" true (p.Model.fe_path = Model.FE_dsb));
+    Alcotest.test_case "JCC erratum forces legacy decode" `Quick (fun () ->
+        (* pad so that the branch crosses the 32-byte boundary *)
+        let pad =
+          String.concat "\n" (List.init 6 (fun _ -> "add rax, 0x12345"))
+        in
+        (* 6 * 6 = 36 bytes; add a jcc: it starts at 36... make the pad
+           29 bytes so the branch crosses 32 *)
+        ignore pad;
+        let insts =
+          parse_block
+            "add rax, 0x12345\nadd rbx, 0x12345\nadd rcx, 0x12345\nadd rdx, 0x12345\nadd rsi, rdi\nadd r8, r9"
+        in
+        let looped = Facile_bhive.Genblock.looped insts in
+        let b = Block.of_instructions skl looped in
+        Alcotest.(check bool) "erratum detected" true
+          (Block.jcc_erratum_affected b);
+        let p = Model.predict_l b in
+        Alcotest.(check bool) "decoders path" true
+          (p.Model.fe_path = Model.FE_decoders);
+        (* same block on RKL (no erratum): front end via LSD/DSB *)
+        let b2 = Block.of_instructions rkl looped in
+        let p2 = Model.predict_l b2 in
+        Alcotest.(check bool) "no erratum on RKL" true
+          (p2.Model.fe_path <> Model.FE_decoders));
+    Alcotest.test_case "variants" `Quick (fun () ->
+        let b = block skl four_adds in
+        let base = (Model.predict_u b).Model.cycles in
+        let without_predec =
+          (Model.predict_u
+             ~variant:{ Model.default with Model.without = [ Model.Predec ] }
+             b).Model.cycles
+        in
+        Alcotest.(check bool) "removing the bottleneck lowers tp" true
+          (without_predec < base);
+        let only_ports =
+          (Model.predict_u
+             ~variant:{ Model.default with Model.only = Some [ Model.Ports ] }
+             b).Model.cycles
+        in
+        checkf "only ports" 1.0 only_ports;
+        let ideal =
+          Model.speedup_idealizing b Model.Predec
+        in
+        checkf "idealizing predec" (1.25 /. 1.0) ideal);
+    Alcotest.test_case "variant monotonicity" `Quick (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:3 ~size:80 () in
+        List.iter
+          (fun (c : Facile_bhive.Suite.case) ->
+            let b = Block.of_instructions skl c.Facile_bhive.Suite.body in
+            let base = (Model.predict_u b).Model.cycles in
+            List.iter
+              (fun comp ->
+                let v =
+                  (Model.predict_u
+                     ~variant:{ Model.default with Model.without = [ comp ] } b)
+                    .Model.cycles
+                in
+                if v > base +. 1e-9 then
+                  Alcotest.failf "removing %s raised tp on case %d"
+                    (Model.component_name comp) c.Facile_bhive.Suite.id;
+                let ideal =
+                  (Model.predict_u
+                     ~variant:{ Model.default with Model.idealized = [ comp ] }
+                     b).Model.cycles
+                in
+                if ideal > base +. 1e-9 then
+                  Alcotest.failf "idealizing %s raised tp on case %d"
+                    (Model.component_name comp) c.Facile_bhive.Suite.id)
+              Model.all_components)
+          cases);
+    Alcotest.test_case "corpus determinism" `Quick (fun () ->
+        let a = Facile_bhive.Suite.corpus ~seed:123 ~size:50 () in
+        let b = Facile_bhive.Suite.corpus ~seed:123 ~size:50 () in
+        List.iter2
+          (fun (x : Facile_bhive.Suite.case) (y : Facile_bhive.Suite.case) ->
+            assert (List.for_all2 Inst.equal x.Facile_bhive.Suite.body
+                      y.Facile_bhive.Suite.body))
+          a b;
+        let c = Facile_bhive.Suite.corpus ~seed:124 ~size:50 () in
+        let same =
+          List.for_all2
+            (fun (x : Facile_bhive.Suite.case) (y : Facile_bhive.Suite.case) ->
+              List.length x.Facile_bhive.Suite.body
+              = List.length y.Facile_bhive.Suite.body
+              && List.for_all2 Inst.equal x.Facile_bhive.Suite.body
+                   y.Facile_bhive.Suite.body)
+            a c
+        in
+        Alcotest.(check bool) "different seeds differ" false same);
+    Alcotest.test_case "all corpus blocks analyzable on all µarchs" `Quick
+      (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:17 ~size:60 () in
+        List.iter
+          (fun cfg ->
+            List.iter
+              (fun (c : Facile_bhive.Suite.case) ->
+                let bu = Block.of_instructions cfg c.Facile_bhive.Suite.body in
+                let bl = Block.of_instructions cfg c.Facile_bhive.Suite.loop in
+                let pu = Model.predict_u bu in
+                let pl = Model.predict_l bl in
+                if not (pu.Model.cycles > 0.0) then
+                  Alcotest.failf "zero TP_U on %s case %d" cfg.Config.abbrev
+                    c.Facile_bhive.Suite.id;
+                if not (pl.Model.cycles > 0.0) then
+                  Alcotest.failf "zero TP_L on %s case %d" cfg.Config.abbrev
+                    c.Facile_bhive.Suite.id)
+              cases)
+          Config.all) ]
+
+(* Cross-component invariants, checked over the whole corpus. *)
+let invariant_tests =
+  [ Alcotest.test_case "component bound invariants on corpus" `Quick
+      (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:31 ~size:120 () in
+        List.iter
+          (fun cfg ->
+            List.iter
+              (fun (c : Facile_bhive.Suite.case) ->
+                let b = Block.of_instructions cfg c.Facile_bhive.Suite.loop in
+                let iw = float_of_int cfg.Config.issue_width in
+                let n_f = float_of_int (Block.fused_uops b) in
+                let n_i = float_of_int (Block.issued_uops b) in
+                (* Issue is exactly issued/width *)
+                if abs_float (Issue.throughput b -. (n_i /. iw)) > 1e-9 then
+                  Alcotest.failf "Issue formula broken on case %d"
+                    c.Facile_bhive.Suite.id;
+                (* DSB at least n/w; LSD between n/i and ceil(n/i) *)
+                let w = float_of_int cfg.Config.dsb_width in
+                if Dsb.throughput b +. 1e-9 < n_f /. w then
+                  Alcotest.fail "DSB below n/w";
+                let lsd = Lsd.throughput b in
+                if lsd +. 1e-9 < n_f /. iw then Alcotest.fail "LSD below n/i";
+                if lsd -. 1e-9 > Float.ceil (n_f /. iw) then
+                  Alcotest.fail "LSD above ceil(n/i)";
+                (* full predecoder dominates the simple model *)
+                List.iter
+                  (fun mode ->
+                    if
+                      Predec.throughput ~mode b +. 1e-9 < Predec.simple b
+                    then Alcotest.fail "Predec below SimplePredec")
+                  [ `Unrolled; `Loop ];
+                (* Algorithm 1 dominates SimpleDec *)
+                if Dec.throughput b +. 1e-9 < Dec.simple b then
+                  Alcotest.failf "Dec %f below SimpleDec %f on case %d (%s)"
+                    (Dec.throughput b) (Dec.simple b) c.Facile_bhive.Suite.id
+                    cfg.Config.abbrev;
+                (* the prediction equals the max over its bottlenecks *)
+                let p = Model.predict_l b in
+                (match p.Model.bottlenecks with
+                 | [] -> Alcotest.fail "no bottleneck reported"
+                 | bn :: _ ->
+                   let v = List.assoc bn p.Model.values in
+                   if abs_float (v -. p.Model.cycles) > 1e-9 then
+                     Alcotest.fail "bottleneck value <> prediction"))
+              cases)
+          [ skl; hsw; snb; rkl ]);
+    Alcotest.test_case "of_bytes and of_instructions agree" `Quick (fun () ->
+        (* analyzing machine code must give exactly the same prediction
+           as analyzing the instruction list it encodes *)
+        let cases = Facile_bhive.Suite.corpus ~seed:37 ~size:80 () in
+        List.iter
+          (fun (c : Facile_bhive.Suite.case) ->
+            List.iter
+              (fun insts ->
+                let from_insts = Block.of_instructions skl insts in
+                let from_bytes = Block.of_bytes skl from_insts.Block.bytes in
+                let p1 = Model.predict from_insts in
+                let p2 = Model.predict from_bytes in
+                if abs_float (p1.Model.cycles -. p2.Model.cycles) > 1e-9 then
+                  Alcotest.failf "path mismatch on case %d: %.4f vs %.4f"
+                    c.Facile_bhive.Suite.id p1.Model.cycles p2.Model.cycles;
+                List.iter2
+                  (fun (c1, v1) (c2, v2) ->
+                    assert (c1 = c2);
+                    if abs_float (v1 -. v2) > 1e-9 then
+                      Alcotest.failf "component %s differs by path"
+                        (Model.component_name c1))
+                  p1.Model.values p2.Model.values)
+              [ c.Facile_bhive.Suite.body; c.Facile_bhive.Suite.loop ])
+          cases);
+    Alcotest.test_case "blocks of one instruction" `Quick (fun () ->
+        (* every generated single instruction analyzes on every µarch *)
+        let rng = Facile_bhive.Prng.create 3 in
+        List.iter
+          (fun profile ->
+            for _ = 1 to 200 do
+              let i =
+                Facile_bhive.Genblock.random_inst rng profile ~allow_fma:false
+              in
+              List.iter
+                (fun cfg ->
+                  let b = Block.of_instructions cfg [ i ] in
+                  let p = Model.predict_u b in
+                  if not (p.Model.cycles > 0.0) then
+                    Alcotest.failf "zero prediction for %s" (Inst.to_string i))
+                Config.all
+            done)
+          Facile_bhive.Genblock.all_profiles) ]
+
+let region_tests =
+  [ Alcotest.test_case "single-block region = block prediction" `Quick
+      (fun () ->
+        let insts = parse_block "imul rax, rbx\nadd rax, rcx" in
+        let r = Region.analyze skl [ { Region.insts; weight = 1.0 } ] in
+        let p = Model.predict (Block.of_instructions skl insts) in
+        checkf "naive equals prediction" p.Model.cycles r.Region.naive;
+        (* the aggregated bound cannot exceed the naive sum by much, and
+           dominates each pooled resource *)
+        Alcotest.(check bool) "bounded" true
+          (r.Region.cycles <= r.Region.naive +. 1e-9));
+    Alcotest.test_case "weights are normalized" `Quick (fun () ->
+        let a = parse_block "add rax, rbx" in
+        let b = parse_block "imul rcx, rdx" in
+        let r1 =
+          Region.analyze skl
+            [ { Region.insts = a; weight = 1.0 };
+              { Region.insts = b; weight = 3.0 } ]
+        in
+        let r2 =
+          Region.analyze skl
+            [ { Region.insts = a; weight = 10.0 };
+              { Region.insts = b; weight = 30.0 } ]
+        in
+        checkf "scale invariant" r1.Region.cycles r2.Region.cycles);
+    Alcotest.test_case "pooled ports exceed per-block weighting" `Quick
+      (fun () ->
+        (* two blocks that each fill different ports lightly still share
+           the same p5 shuffle unit; the pooled bound sees that *)
+        let a = parse_block "pshufd xmm0, xmm1, 0\npshufd xmm2, xmm3, 0" in
+        let b = parse_block "pshufd xmm4, xmm5, 0\npshufd xmm6, xmm7, 0" in
+        let r =
+          Region.analyze skl
+            [ { Region.insts = a; weight = 1.0 };
+              { Region.insts = b; weight = 1.0 } ]
+        in
+        checkf "p5 pressure pooled" 2.0
+          (List.assoc Model.Ports r.Region.component_values));
+    Alcotest.test_case "invalid regions rejected" `Quick (fun () ->
+        (match Region.analyze skl [] with
+         | _ -> Alcotest.fail "empty region"
+         | exception Invalid_argument _ -> ());
+        let a = parse_block "add rax, rbx" in
+        match Region.analyze skl [ { Region.insts = a; weight = 0.0 } ] with
+        | _ -> Alcotest.fail "zero weight"
+        | exception Invalid_argument _ -> ()) ]
+
+let suite =
+  [ "core.components", component_tests;
+    "core.fusion", fusion_tests;
+    "core.model", model_tests;
+    "core.invariants", invariant_tests;
+    "core.region", region_tests ]

@@ -1,0 +1,158 @@
+open Facile_stats
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let kendall_tests =
+  [ Alcotest.test_case "perfect correlation" `Quick (fun () ->
+        let pairs = [ (1., 2.); (2., 4.); (3., 6.); (4., 8.) ] in
+        checkf "tau=1" 1.0 (Kendall.tau_b pairs);
+        checkf "naive" 1.0 (Kendall.tau_b_naive pairs));
+    Alcotest.test_case "perfect anticorrelation" `Quick (fun () ->
+        let pairs = [ (1., 8.); (2., 6.); (3., 4.); (4., 2.) ] in
+        checkf "tau=-1" (-1.0) (Kendall.tau_b pairs));
+    Alcotest.test_case "known mixed value" `Quick (fun () ->
+        (* x = 1..4, y = (1,3,2,4): one discordant pair out of six *)
+        let pairs = [ (1., 1.); (2., 3.); (3., 2.); (4., 4.) ] in
+        checkf "tau = 4/6" (4.0 /. 6.0) (Kendall.tau_b pairs);
+        checkf "naive agrees" (4.0 /. 6.0) (Kendall.tau_b_naive pairs));
+    Alcotest.test_case "ties" `Quick (fun () ->
+        let pairs = [ (1., 1.); (1., 2.); (2., 3.); (2., 4.); (3., 5.) ] in
+        Alcotest.(check (float 1e-9))
+          "tau-b with x ties"
+          (Kendall.tau_b_naive pairs) (Kendall.tau_b pairs));
+    Alcotest.test_case "constant input is nan" `Quick (fun () ->
+        assert (Float.is_nan (Kendall.tau_b [ (1., 1.); (1., 2.) ])));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fast = naive on random data" ~count:300
+         QCheck.(
+           list_of_size
+             (QCheck.Gen.int_range 2 40)
+             (pair (int_range 0 10) (int_range 0 10)))
+         (fun l ->
+           let pairs =
+             List.map (fun (a, b) -> (float_of_int a, float_of_int b)) l
+           in
+           if List.length pairs < 2 then true
+           else begin
+             let fast = Kendall.tau_b pairs in
+             let naive = Kendall.tau_b_naive pairs in
+             (Float.is_nan fast && Float.is_nan naive)
+             || abs_float (fast -. naive) < 1e-9
+           end)) ]
+
+let metric_tests =
+  [ Alcotest.test_case "MAPE" `Quick (fun () ->
+        checkf "exact" 0.0 (Error_metrics.mape [ (2.0, 2.0); (4.0, 4.0) ]);
+        checkf "10%" 0.1 (Error_metrics.mape [ (10.0, 9.0); (10.0, 11.0) ]);
+        (* zero measurements are skipped *)
+        checkf "skip zeros" 0.1
+          (Error_metrics.mape [ (0.0, 5.0); (10.0, 9.0) ]));
+    Alcotest.test_case "round2" `Quick (fun () ->
+        checkf "1.234 -> 1.23" 1.23 (Error_metrics.round2 1.234);
+        checkf "1.235 -> 1.24" 1.24 (Error_metrics.round2 1.2351);
+        checkf "negative" (-1.23) (Error_metrics.round2 (-1.2349)));
+    Alcotest.test_case "within" `Quick (fun () ->
+        checkf "half within 5%" 0.5
+          (Error_metrics.within ~tol:0.05 [ (10., 10.2); (10., 12.) ])) ]
+
+let descriptive_tests =
+  [ Alcotest.test_case "mean/stddev/minmax" `Quick (fun () ->
+        checkf "mean" 2.0 (Descriptive.mean [ 1.; 2.; 3. ]);
+        checkf "min" 1.0 (Descriptive.minimum [ 3.; 1.; 2. ]);
+        checkf "max" 3.0 (Descriptive.maximum [ 3.; 1.; 2. ]);
+        checkf "stddev of constant" 0.0 (Descriptive.stddev [ 5.; 5.; 5. ]);
+        checkf "geomean" 2.0 (Descriptive.geomean [ 1.; 2.; 4. ]));
+    Alcotest.test_case "percentiles" `Quick (fun () ->
+        let l = [ 1.; 2.; 3.; 4.; 5. ] in
+        checkf "median" 3.0 (Descriptive.median l);
+        checkf "p0" 1.0 (Descriptive.percentile 0.0 l);
+        checkf "p100" 5.0 (Descriptive.percentile 100.0 l);
+        checkf "p25" 2.0 (Descriptive.percentile 25.0 l);
+        checkf "interpolated" 3.5 (Descriptive.percentile 62.5 l));
+    Alcotest.test_case "histogram" `Quick (fun () ->
+        let h = Descriptive.histogram ~buckets:2 [ 0.; 1.; 2.; 3. ] in
+        Alcotest.(check int) "bucket count" 2 (List.length h);
+        let total = List.fold_left (fun a (_, _, c) -> a + c) 0 h in
+        Alcotest.(check int) "all points" 4 total) ]
+
+let linalg_tests =
+  [ Alcotest.test_case "solve 2x2" `Quick (fun () ->
+        let x =
+          Facile_baselines.Linalg.solve
+            [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] [| 5.0; 10.0 |]
+        in
+        Alcotest.(check (float 1e-9)) "x0" 1.0 x.(0);
+        Alcotest.(check (float 1e-9)) "x1" 3.0 x.(1));
+    Alcotest.test_case "singular raises" `Quick (fun () ->
+        match
+          Facile_baselines.Linalg.solve
+            [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 2.0 |]
+        with
+        | _ -> Alcotest.fail "expected failure"
+        | exception Failure _ -> ());
+    Alcotest.test_case "ridge recovers a linear map" `Quick (fun () ->
+        (* y = 3*x1 - 2*x2 + 1 *)
+        let rng = Facile_bhive.Prng.create 9 in
+        let xs =
+          List.init 50 (fun _ ->
+              [| 1.0;
+                 float_of_int (Facile_bhive.Prng.range rng 0 20);
+                 float_of_int (Facile_bhive.Prng.range rng 0 20) |])
+        in
+        let ys = List.map (fun x -> 1.0 +. (3.0 *. x.(1)) -. (2.0 *. x.(2))) xs in
+        let w = Facile_baselines.Linalg.ridge_fit ~lambda:1e-6 xs ys in
+        Alcotest.(check (float 1e-3)) "intercept" 1.0 w.(0);
+        Alcotest.(check (float 1e-3)) "w1" 3.0 w.(1);
+        Alcotest.(check (float 1e-3)) "w2" (-2.0) w.(2)) ]
+
+let report_tests =
+  [ Alcotest.test_case "table rendering" `Quick (fun () ->
+        let s =
+          Facile_report.Table.render ~header:[ "a"; "bb" ]
+            [ [ "x"; "1" ]; [ "yyy"; "22" ] ]
+        in
+        let lines = String.split_on_char '\n' s in
+        Alcotest.(check int) "4 lines" 4 (List.length lines);
+        (* all lines equally wide *)
+        (match lines with
+         | first :: rest ->
+           List.iter
+             (fun l ->
+               Alcotest.(check int) "aligned" (String.length first)
+                 (String.length l))
+             rest
+         | [] -> assert false));
+    Alcotest.test_case "format helpers" `Quick (fun () ->
+        Alcotest.(check string) "pct" "1.23%" (Facile_report.Table.pct 0.0123);
+        Alcotest.(check string) "f2" "3.14" (Facile_report.Table.f2 3.14159);
+        Alcotest.(check string) "f4" "0.9877" (Facile_report.Table.f4 0.98765));
+    Alcotest.test_case "heatmap rendering" `Quick (fun () ->
+        let s =
+          Facile_report.Heatmap.render ~max_value:10.0 ~bins:10
+            [ (1.0, 1.0); (5.0, 5.0); (9.0, 2.0) ]
+        in
+        Alcotest.(check bool) "mentions points" true
+          (String.length s > 100);
+        (* out-of-range points are dropped *)
+        let s2 =
+          Facile_report.Heatmap.render ~max_value:10.0 ~bins:10
+            [ (100.0, 1.0) ]
+        in
+        Alcotest.(check bool) "0 points shown" true
+          (String.length s2 > 0));
+    Alcotest.test_case "sankey rendering" `Quick (fun () ->
+        let s =
+          Facile_report.Sankey.render ~from_label:"A" ~to_label:"B"
+            [ ("Ports", "Predec", 10); ("Ports", "Ports", 5);
+              ("Dec", "Dec", 3) ]
+        in
+        Alcotest.(check bool) "has flows" true
+          (String.length s > 50
+           && String.length s < 5000)) ]
+
+let suite =
+  [ "stats.kendall", kendall_tests;
+    "stats.metrics", metric_tests;
+    "stats.descriptive", descriptive_tests;
+    "stats.linalg", linalg_tests;
+    "stats.report", report_tests ]

@@ -1,0 +1,312 @@
+open Facile_x86
+
+let hex s =
+  String.concat " "
+    (List.map (fun c -> Printf.sprintf "%02X" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let check_bytes name inst expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let e = Encode.encode inst in
+      Alcotest.(check string) name expected (hex e.Encode.bytes))
+
+let parse s =
+  match Asm.parse_inst s with
+  | Ok i -> i
+  | Error m -> Alcotest.failf "cannot parse %S: %s" s m
+
+let check_asm name asm expected = check_bytes name (parse asm) expected
+
+(* ------------------------------------------------------------------ *)
+
+let golden_tests =
+  [ check_asm "add rax, rbx" "add rax, rbx" "48 01 D8";
+    check_asm "add eax, ebx" "add eax, ebx" "01 D8";
+    check_asm "add al, bl" "add al, bl" "00 D8";
+    check_asm "mov eax, 1" "mov eax, 1" "B8 01 00 00 00";
+    check_asm "mov rax, big" "mov rax, 0x1122334455667788"
+      "48 B8 88 77 66 55 44 33 22 11";
+    check_asm "lea rax, [rbx+rcx*4+8]" "lea rax, [rbx+rcx*4+8]"
+      "48 8D 44 8B 08";
+    check_asm "nop" "nop" "90";
+    check_asm "jmp -5" "jmp -5" "EB FB";
+    check_asm "add ax, 0x1234 (LCP)" "add ax, 0x1234" "66 81 C0 34 12";
+    check_asm "add rax, 1 (imm8 form)" "add rax, 1" "48 83 C0 01";
+    check_asm "movaps xmm1, xmm2" "movaps xmm1, xmm2" "0F 28 CA";
+    check_asm "addsd xmm0, xmm1" "addsd xmm0, xmm1" "F2 0F 58 C1";
+    check_asm "vaddps ymm1, ymm2, ymm3" "vaddps ymm1, ymm2, ymm3"
+      "C5 EC 58 CB";
+    check_asm "vfmadd231ps xmm1, xmm2, xmm3" "vfmadd231ps xmm1, xmm2, xmm3"
+      "C4 E2 69 B8 CB";
+    check_asm "pmulld xmm1, xmm2" "pmulld xmm1, xmm2" "66 0F 38 40 CA";
+    check_asm "push rax" "push rax" "50";
+    check_asm "pop r12" "pop r12" "41 5C";
+    check_asm "mov sil, 1 (forced REX)" "mov sil, 1" "40 B6 01";
+    check_asm "cmp [rsp+4], 10" "cmp dword ptr [rsp+4], 10"
+      "83 7C 24 04 0A";
+    check_asm "imul rax, rbx, 1000" "imul rax, rbx, 1000"
+      "48 69 C3 E8 03 00 00";
+    check_asm "movzx eax, [rbp]" "movzx eax, byte ptr [rbp]" "0F B6 45 00";
+    check_asm "div rcx" "div rcx" "48 F7 F1";
+    check_asm "shl rdx, 3" "shl rdx, 3" "48 C1 E2 03";
+    check_asm "sar ecx, cl" "sar ecx, cl" "D3 F9";
+    check_asm "jne rel32" "jne -1000" "0F 85 18 FC FF FF";
+    check_asm "jne rel8" "jne -12" "75 F4";
+    check_asm "setg al" "setg al" "0F 9F C0";
+    check_asm "cmovle r10d, r11d" "cmovle r10d, r11d" "45 0F 4E D3";
+    check_asm "movsxd rdx, eax" "movsxd rdx, eax" "48 63 D0";
+    check_asm "cqo" "cqo" "48 99";
+    check_asm "popcnt r9, r10" "popcnt r9, r10" "F3 4D 0F B8 CA";
+    check_asm "movd xmm3, edi" "movd xmm3, edi" "66 0F 6E DF";
+    check_asm "movq xmm3, rdi" "movq xmm3, rdi" "66 48 0F 6E DF";
+    check_asm "pshufd xmm1, xmm2, 0x1b" "pshufd xmm1, xmm2, 0x1b"
+      "66 0F 70 CA 1B";
+    check_asm "pslld xmm5, 7" "pslld xmm5, 7" "66 0F 72 F5 07";
+    check_asm "mov [rax], ebx" "mov dword ptr [rax], ebx" "89 18";
+    check_asm "mov r13, [r14+r15*8]" "mov r13, qword ptr [r14+r15*8]"
+      "4F 8B 2C FE";
+    check_asm "xchg rbx, rcx" "xchg rbx, rcx" "48 87 CB";
+    check_asm "bswap r12" "bswap r12" "49 0F CC";
+    check_asm "nopl [rax]" "nopl dword ptr [rax]" "0F 1F 00";
+    (* extended subset *)
+    check_asm "shld eax, ebx, 5" "shld eax, ebx, 5" "0F A4 D8 05";
+    check_asm "bt rax, rbx" "bt rax, rbx" "48 0F A3 D8";
+    check_asm "bts eax, 3" "bts eax, 3" "0F BA E8 03";
+    check_asm "movbe eax, [rbx]" "movbe eax, dword ptr [rbx]" "0F 38 F0 03";
+    check_asm "movbe [rbx], eax" "movbe dword ptr [rbx], eax" "0F 38 F1 03";
+    check_asm "andn eax, ebx, ecx" "andn eax, ebx, ecx" "C4 E2 60 F2 C1";
+    check_asm "shlx eax, ebx, ecx" "shlx eax, ebx, ecx" "C4 E2 71 F7 C3";
+    check_asm "palignr xmm1, xmm2, 5" "palignr xmm1, xmm2, 5"
+      "66 0F 3A 0F CA 05";
+    check_asm "roundsd xmm1, xmm2, 1" "roundsd xmm1, xmm2, 1"
+      "66 0F 3A 0B CA 01";
+    check_asm "movdqa xmm1, xmm2" "movdqa xmm1, xmm2" "66 0F 6F CA";
+    check_asm "movdqu xmm1, [rax]" "movdqu xmmword ptr [rax], xmm1"
+      "F3 0F 7F 08";
+    check_asm "cwde" "cwde" "98";
+    check_asm "cdqe" "cdqe" "48 98";
+    check_asm "clc" "clc" "F8";
+    check_asm "pslldq xmm3, 4" "pslldq xmm3, 4" "66 0F 73 FB 04";
+    check_asm "shufps xmm0, xmm1, 0x44" "shufps xmm0, xmm1, 0x44"
+      "0F C6 C1 44";
+    check_asm "haddps xmm0, xmm1" "haddps xmm0, xmm1" "F2 0F 7C C1";
+    check_asm "pmaxsd xmm0, xmm1" "pmaxsd xmm0, xmm1" "66 0F 38 3D C1";
+    check_asm "vpand ymm1, ymm2, ymm3" "vpand ymm1, ymm2, ymm3" "C5 ED DB CB";
+    check_asm "vmovdqu ymm1, ymm2" "vmovdqu ymm1, ymm2" "C5 FE 6F CA" ]
+
+(* ------------------------------------------------------------------ *)
+
+let layout_tests =
+  [ Alcotest.test_case "LCP flags" `Quick (fun () ->
+        let lcp s = (Encode.encode (parse s)).Encode.has_lcp in
+        Alcotest.(check bool) "add ax, imm16" true (lcp "add ax, 0x1234");
+        Alcotest.(check bool) "mov bx, imm16" true (lcp "mov bx, 300");
+        Alcotest.(check bool) "add ax, small imm8" false (lcp "add ax, 4");
+        Alcotest.(check bool) "add eax, imm32" false (lcp "add eax, 0x1234");
+        Alcotest.(check bool) "add ax, bx" false (lcp "add ax, bx");
+        Alcotest.(check bool) "addpd (mandatory 66)" false
+          (lcp "addpd xmm0, xmm1"));
+    Alcotest.test_case "opcode offsets" `Quick (fun () ->
+        let off s = (Encode.encode (parse s)).Encode.opcode_off in
+        Alcotest.(check int) "add eax, ebx" 0 (off "add eax, ebx");
+        Alcotest.(check int) "add rax, rbx (REX)" 1 (off "add rax, rbx");
+        Alcotest.(check int) "add ax, bx (66)" 1 (off "add ax, bx");
+        Alcotest.(check int) "popcnt r9, r10 (F3+REX)" 2
+          (off "popcnt r9, r10");
+        Alcotest.(check int) "addsd (F2)" 1 (off "addsd xmm0, xmm1");
+        Alcotest.(check int) "vaddps (VEX)" 0 (off "vaddps ymm1, ymm2, ymm3")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip: decode (encode i) = i for a large generated sample.     *)
+
+let roundtrip_profile profile =
+  Alcotest.test_case
+    (Printf.sprintf "roundtrip %s" (Facile_bhive.Genblock.profile_name profile))
+    `Quick
+    (fun () ->
+      let rng = Facile_bhive.Prng.create 42 in
+      for _k = 1 to 1500 do
+        let inst = Facile_bhive.Genblock.random_inst rng profile ~allow_fma:true in
+        let e = Encode.encode inst in
+        let len = String.length e.Encode.bytes in
+        if len < 1 || len > 15 then
+          Alcotest.failf "bad length %d for %s" len (Inst.to_string inst);
+        let decoded, dlen = Decode.decode_one e.Encode.bytes ~pos:0 in
+        if dlen <> len then
+          Alcotest.failf "length mismatch for %s: %d vs %d"
+            (Inst.to_string inst) dlen len;
+        if not (Inst.equal decoded inst) then
+          Alcotest.failf "roundtrip: %s became %s (bytes %s)"
+            (Inst.to_string inst) (Inst.to_string decoded)
+            (hex e.Encode.bytes)
+      done)
+
+let roundtrip_tests = List.map roundtrip_profile Facile_bhive.Genblock.all_profiles
+
+let block_roundtrip =
+  Alcotest.test_case "block decode = encode layouts" `Quick (fun () ->
+      let cases =
+        Facile_bhive.Suite.corpus ~seed:7 ~size:100 ()
+      in
+      List.iter
+        (fun (c : Facile_bhive.Suite.case) ->
+          let bytes, layouts = Encode.encode_block c.Facile_bhive.Suite.loop in
+          let layouts' = Decode.decode_block bytes in
+          Alcotest.(check int)
+            "layout count"
+            (List.length layouts) (List.length layouts');
+          List.iter2
+            (fun (a : Encode.layout) (b : Encode.layout) ->
+              assert (Inst.equal a.Encode.inst b.Encode.inst);
+              assert (a.Encode.off = b.Encode.off);
+              assert (a.Encode.len = b.Encode.len);
+              assert (a.Encode.nominal_opcode_off = b.Encode.nominal_opcode_off);
+              assert (a.Encode.lcp = b.Encode.lcp))
+            layouts layouts')
+        cases)
+
+(* ------------------------------------------------------------------ *)
+(* Assembly printer/parser round-trip.                                 *)
+
+let asm_roundtrip =
+  Alcotest.test_case "asm print/parse roundtrip" `Quick (fun () ->
+      let rng = Facile_bhive.Prng.create 99 in
+      List.iter
+        (fun profile ->
+          for _k = 1 to 400 do
+            let inst =
+              Facile_bhive.Genblock.random_inst rng profile ~allow_fma:true
+            in
+            let printed = Asm.print_inst inst in
+            match Asm.parse_inst printed with
+            | Ok inst' ->
+              if not (Inst.equal inst inst') then
+                Alcotest.failf "asm roundtrip: %S reparsed as %S" printed
+                  (Asm.print_inst inst')
+            | Error m -> Alcotest.failf "cannot reparse %S: %s" printed m
+          done)
+        Facile_bhive.Genblock.all_profiles)
+
+let register_names =
+  Alcotest.test_case "register names" `Quick (fun () ->
+      let check s r =
+        Alcotest.(check string) s s (Register.name r);
+        match Register.of_name s with
+        | Some r' -> assert (Register.equal r r')
+        | None -> Alcotest.failf "cannot parse register %s" s
+      in
+      check "rax" (Register.Gpr (Register.W64, Register.RAX));
+      check "eax" (Register.Gpr (Register.W32, Register.RAX));
+      check "ax" (Register.Gpr (Register.W16, Register.RAX));
+      check "al" (Register.Gpr (Register.W8, Register.RAX));
+      check "sil" (Register.Gpr (Register.W8, Register.RSI));
+      check "r8b" (Register.Gpr (Register.W8, Register.R8));
+      check "r10d" (Register.Gpr (Register.W32, Register.R10));
+      check "r15" (Register.Gpr (Register.W64, Register.R15));
+      check "xmm13" (Register.Xmm 13);
+      check "ymm2" (Register.Ymm 2))
+
+let semantics_tests =
+  [ Alcotest.test_case "reads/writes" `Quick (fun () ->
+        let r = parse "add rax, rbx" in
+        let reads = Semantics.reads r and writes = Semantics.writes r in
+        let reg name =
+          Semantics.Reg (Option.get (Register.of_name name))
+        in
+        assert (List.mem (reg "rax") reads);
+        assert (List.mem (reg "rbx") reads);
+        assert (List.mem (reg "rax") writes);
+        assert (List.mem Semantics.Flags writes);
+        let c = parse "cmovne rcx, rdx" in
+        assert (List.mem Semantics.Flags (Semantics.reads c));
+        assert (List.mem (reg "rcx") (Semantics.reads c));
+        let l = parse "mov rax, qword ptr [rbx+rcx*2]" in
+        assert (List.mem (reg "rbx") (Semantics.reads l));
+        assert (List.mem (reg "rcx") (Semantics.reads l));
+        assert (not (List.mem (reg "rax") (Semantics.reads l)));
+        let div = parse "div rcx" in
+        assert (List.mem (reg "rax") (Semantics.reads div));
+        assert (List.mem (reg "rdx") (Semantics.writes div));
+        (* partial registers normalize to full width *)
+        let p = parse "add al, bl" in
+        assert (List.mem (reg "rax") (Semantics.writes p))) ]
+
+(* Decoder robustness: arbitrary bytes either decode (within bounds) or
+   raise Decode_error — never any other exception, never a length beyond
+   the input. *)
+let decoder_fuzz =
+  Alcotest.test_case "decoder never crashes on random bytes" `Quick (fun () ->
+      let rng = Facile_bhive.Prng.create 1234 in
+      for _ = 1 to 20000 do
+        let len = 1 + Facile_bhive.Prng.int rng 18 in
+        let bytes =
+          String.init len (fun _ -> Char.chr (Facile_bhive.Prng.int rng 256))
+        in
+        match Decode.decode_one bytes ~pos:0 with
+        | _, dlen ->
+          if dlen < 1 || dlen > String.length bytes then
+            Alcotest.failf "bad decode length %d of %d" dlen
+              (String.length bytes)
+        | exception Decode.Decode_error _ -> ()
+      done)
+
+(* Mutating one byte of a valid encoding must not break the decoder. *)
+let decoder_mutation =
+  Alcotest.test_case "single-byte mutations are handled" `Quick (fun () ->
+      let rng = Facile_bhive.Prng.create 77 in
+      for _ = 1 to 2000 do
+        let inst =
+          Facile_bhive.Genblock.random_inst rng Facile_bhive.Genblock.Mixed
+            ~allow_fma:true
+        in
+        let e = Encode.encode inst in
+        let pos = Facile_bhive.Prng.int rng (String.length e.Encode.bytes) in
+        let mutated =
+          String.mapi
+            (fun i c ->
+              if i = pos then Char.chr (Facile_bhive.Prng.int rng 256) else c)
+            e.Encode.bytes
+        in
+        match Decode.decode_one mutated ~pos:0 with
+        | _ -> ()
+        | exception Decode.Decode_error _ -> ()
+      done)
+
+let asm_errors =
+  Alcotest.test_case "asm parser rejects garbage gracefully" `Quick (fun () ->
+      let bad s =
+        match Asm.parse_inst s with
+        | Ok i -> Alcotest.failf "%S parsed as %s" s (Inst.to_string i)
+        | Error _ -> ()
+      in
+      bad "frobnicate rax, rbx";
+      bad "add rax, [rsp+";
+      bad "add xyz, rbx";
+      bad "lea rax, rbx";         (* LEA needs a memory operand *)
+      bad "add rax, [rsp+rsp*2]"; (* RSP cannot be an index *)
+      bad "";
+      (* and accepts synonyms and formatting variants *)
+      let ok s =
+        match Asm.parse_inst s with
+        | Ok i -> i
+        | Error m -> Alcotest.failf "%S rejected: %s" s m
+      in
+      assert (Inst.equal (ok "jz -5") (ok "je -5"));
+      assert (Inst.equal (ok "jnz -5") (ok "jne -5"));
+      assert (Inst.equal (ok "cmova rax, rbx") (ok "cmovnbe rax, rbx"));
+      assert (Inst.equal
+                (ok "mov rax, [rbx]")  (* width inferred from rax *)
+                (ok "mov rax, qword ptr [rbx]"));
+      assert (Inst.equal (ok "add rax , rbx") (ok "add rax, rbx"));
+      (* block-level comments and separators *)
+      match Asm.parse_block "add rax, rbx # comment\n\n; \nsub rcx, rdx" with
+      | Ok l -> Alcotest.(check int) "two instructions" 2 (List.length l)
+      | Error m -> Alcotest.failf "block rejected: %s" m)
+
+let suite =
+  [ "x86.golden", golden_tests;
+    "x86.robustness", [ decoder_fuzz; decoder_mutation; asm_errors ];
+    "x86.layout", layout_tests;
+    "x86.roundtrip", block_roundtrip :: roundtrip_tests;
+    "x86.asm", [ asm_roundtrip; register_names ];
+    "x86.semantics", semantics_tests ]

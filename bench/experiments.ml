@@ -10,9 +10,15 @@ module Suite = Facile_bhive.Suite
 module Genblock = Facile_bhive.Genblock
 module Stats = Facile_stats
 module Report = Facile_report
+module Engine = Facile_engine.Engine
 
 let eval_seed = 2023
 let train_seed = 77
+
+(* One shared worker pool for every embarrassingly-parallel per-block
+   loop below. Memoization is off: the harness caches analyzed samples
+   itself, and variant predictions must not alias default ones. *)
+let engine = lazy (Engine.create ~memoize:false ())
 
 type mode = U | L
 
@@ -37,8 +43,10 @@ let samples cfg mode =
   match Hashtbl.find_opt data_cache key with
   | Some s -> s
   | None ->
+    (* analyzing + simulating the corpus is by far the most expensive
+       part of the harness and every case is independent: fan out *)
     let s =
-      List.filter_map
+      Engine.map_list (Lazy.force engine)
         (fun (c : Suite.case) ->
           let insts = match mode with U -> c.Suite.body | L -> c.Suite.loop in
           let block = Block.of_instructions cfg insts in
@@ -46,6 +54,7 @@ let samples cfg mode =
           | m -> Some { case = c; block; measured = m }
           | exception Sim.Did_not_converge -> None)
         (Lazy.force corpus)
+      |> List.filter_map Fun.id
     in
     Hashtbl.add data_cache key s;
     s
@@ -108,7 +117,13 @@ let accuracy pairs =
 
 let eval_predictor cfg mode (p : predictor) =
   let s = samples cfg mode in
-  accuracy (List.map (fun x -> (x.measured, p.predict cfg x.block)) s)
+  (* warm any lazily-trained state (the learned model) on the calling
+     domain before fanning out *)
+  (match s with x :: _ -> ignore (p.predict cfg x.block) | [] -> ());
+  accuracy
+    (Engine.map_list (Lazy.force engine)
+       (fun x -> (x.measured, p.predict cfg x.block))
+       s)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -208,7 +223,10 @@ let table3 () =
                 | L -> (Model.predict_l ~variant b).Model.cycles
               in
               let mape, tau =
-                accuracy (List.map (fun x -> (x.measured, predict x.block)) s)
+                accuracy
+                  (Engine.map_list (Lazy.force engine)
+                     (fun x -> (x.measured, predict x.block))
+                     s)
               in
               (Report.Table.pct mape, Report.Table.f4 tau)
             end
@@ -236,22 +254,19 @@ let table4 () =
     List.map
       (fun (cfg : Config.t) ->
         let s = samples cfg U in
-        let base =
-          List.fold_left (fun a x -> a +. (Model.predict_u x.block).Model.cycles)
-            0.0 s
+        let sum f =
+          List.fold_left ( +. ) 0.0 (Engine.map_list (Lazy.force engine) f s)
         in
+        let base = sum (fun x -> (Model.predict_u x.block).Model.cycles) in
         cfg.Config.abbrev
         :: List.map
              (fun (c, _) ->
                let ideal =
-                 List.fold_left
-                   (fun a x ->
-                     a
-                     +. (Model.predict_u
-                           ~variant:{ Model.default with Model.idealized = [ c ] }
-                           x.block)
-                          .Model.cycles)
-                   0.0 s
+                 sum (fun x ->
+                     (Model.predict_u
+                        ~variant:{ Model.default with Model.idealized = [ c ] }
+                        x.block)
+                       .Model.cycles)
                in
                Printf.sprintf "%.2f" (base /. Float.max ideal 1e-9))
              comps)
@@ -431,13 +446,17 @@ let fig6 () =
   List.iter
     (fun (a1, a2) ->
       let c1 = Config.by_arch a1 and c2 = Config.by_arch a2 in
+      let keys =
+        Engine.map_list (Lazy.force engine)
+          (fun case -> (bottleneck c1 case, bottleneck c2 case))
+          (Lazy.force corpus)
+      in
       let flows = Hashtbl.create 16 in
       List.iter
-        (fun case ->
-          let k = (bottleneck c1 case, bottleneck c2 case) in
+        (fun k ->
           Hashtbl.replace flows k
             (1 + Option.value ~default:0 (Hashtbl.find_opt flows k)))
-        (Lazy.force corpus);
+        keys;
       let flow_list =
         Hashtbl.fold (fun (s, d) n acc -> (s, d, n) :: acc) flows []
       in
@@ -537,6 +556,65 @@ let region () =
     r.Region.component_values
 
 (* ------------------------------------------------------------------ *)
+(* Engine: sequential vs. parallel batch prediction throughput         *)
+
+let engine_bench () =
+  let cfg = Config.by_arch Config.SKL in
+  let cases = Suite.corpus ~seed:eval_seed ~size:(Suite.default_size ()) () in
+  let blocks =
+    List.concat_map
+      (fun (c : Suite.case) ->
+        [ Block.of_instructions cfg c.Suite.body;
+          Block.of_instructions cfg c.Suite.loop ])
+      cases
+  in
+  (* duplicate the corpus, like a real trace, so memoization has
+     repeats to exploit *)
+  let blocks = blocks @ blocks in
+  let n = List.length blocks in
+  let run ~workers ~memoize =
+    Engine.with_pool ~workers ~memoize (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let preds = Engine.predict_batch pool ~mode:`Auto blocks in
+        let dt = Unix.gettimeofday () -. t0 in
+        ( List.map (fun (p : Model.prediction) -> p.Model.cycles) preds,
+          dt, Engine.memo_stats pool ))
+  in
+  let workers = max 1 (Domain.recommended_domain_count ()) in
+  let seq, t_seq, _ = run ~workers:1 ~memoize:false in
+  let par, t_par, _ = run ~workers ~memoize:false in
+  let memo, t_memo, (hits, misses) = run ~workers ~memoize:true in
+  let identical =
+    List.for_all2 Float.equal seq par && List.for_all2 Float.equal seq memo
+  in
+  let rate t = float_of_int n /. Float.max t 1e-9 in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Engine: batch prediction of %d blocks (Skylake, %d worker%s)" n
+         workers
+         (if workers = 1 then "" else "s"))
+    ~header:[ "configuration"; "total s"; "blocks/s"; "speedup" ]
+    [ [ "sequential (1 worker)"; Printf.sprintf "%.3f" t_seq;
+        Printf.sprintf "%.0f" (rate t_seq); "1.00x" ];
+      [ Printf.sprintf "parallel (%d workers)" workers;
+        Printf.sprintf "%.3f" t_par; Printf.sprintf "%.0f" (rate t_par);
+        Printf.sprintf "%.2fx" (t_seq /. Float.max t_par 1e-9) ];
+      [ Printf.sprintf "parallel + memo (%d hits, %d unique)" hits misses;
+        Printf.sprintf "%.3f" t_memo; Printf.sprintf "%.0f" (rate t_memo);
+        Printf.sprintf "%.2fx" (t_seq /. Float.max t_memo 1e-9) ] ];
+  Printf.printf "predictions bit-identical across configurations: %b\n"
+    identical;
+  Printf.printf
+    "BENCH {\"name\":\"engine\",\"blocks\":%d,\"workers\":%d,\
+     \"seq_blocks_per_sec\":%.0f,\"par_blocks_per_sec\":%.0f,\
+     \"memo_blocks_per_sec\":%.0f,\"speedup\":%.3f,\
+     \"memo_hits\":%d,\"identical\":%b}\n"
+    n workers (rate t_seq) (rate t_par) (rate t_memo)
+    (t_seq /. Float.max t_par 1e-9)
+    hits identical
+
+(* ------------------------------------------------------------------ *)
 (* Notion gap: TP_U vs TP_L (the §3.1 motivation)                      *)
 
 let notion () =
@@ -544,7 +622,7 @@ let notion () =
     List.map
       (fun (cfg : Config.t) ->
         let pairs =
-          List.filter_map
+          Engine.map_list (Lazy.force engine)
             (fun (c : Suite.case) ->
               let bu = Block.of_instructions cfg c.Suite.body in
               let bl = Block.of_instructions cfg c.Suite.loop in
@@ -552,6 +630,7 @@ let notion () =
               let l = (Model.predict_l bl).Model.cycles in
               if u > 0.0 && l > 0.0 then Some (u, l) else None)
             (Lazy.force corpus)
+          |> List.filter_map Fun.id
         in
         let ratios = List.map (fun (u, l) -> u /. l) pairs in
         let u_worse =

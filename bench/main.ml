@@ -13,6 +13,7 @@ let experiments =
     "fig5", Experiments.fig5;
     "fig6", Experiments.fig6;
     "microbench", Experiments.microbench;
+    "engine", Experiments.engine_bench;
     "ablations", Experiments.ablations;
     "region", Experiments.region;
     "notion", Experiments.notion ]

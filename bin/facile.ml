@@ -15,27 +15,54 @@ let read_input = function
     close_in ic;
     s
   | None ->
-    let buf = Buffer.create 1024 in
-    (try
-       while true do
-         Buffer.add_channel buf stdin 1
-       done
-     with End_of_file -> ());
+    (* read stdin in 64 KiB chunks: one Buffer.add_channel byte at a
+       time costs a bounds-checked refill per byte and makes piping a
+       large corpus crawl *)
+    let chunk_len = 65536 in
+    let buf = Buffer.create chunk_len in
+    let chunk = Bytes.create chunk_len in
+    let rec loop () =
+      let n = input stdin chunk 0 chunk_len in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        loop ()
+      end
+    in
+    loop ();
     Buffer.contents buf
 
+let hex_digit_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
 let unhex s =
-  let clean =
-    String.to_seq s
-    |> Seq.filter (fun c ->
-           not (c = ' ' || c = '\n' || c = '\t' || c = '\r'))
-    |> String.of_seq
-  in
-  if String.length clean mod 2 <> 0 then
-    failwith "hex input must have an even number of digits";
-  String.init
-    (String.length clean / 2)
-    (fun i ->
-      Char.chr (int_of_string ("0x" ^ String.sub clean (2 * i) 2)))
+  (* keep the original byte offset of every retained digit so errors
+     can point into the input as the user wrote it *)
+  let digits = Buffer.create (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | ' ' | '\n' | '\t' | '\r' -> ()
+      | c ->
+        (match hex_digit_value c with
+         | Some _ -> Buffer.add_char digits c
+         | None ->
+           failwith
+             (Printf.sprintf "invalid hex character %C at byte offset %d" c i)))
+    s;
+  let clean = Buffer.contents digits in
+  let n = String.length clean in
+  if n mod 2 <> 0 then
+    failwith
+      (Printf.sprintf
+         "hex input must have an even number of digits, got %d" n);
+  String.init (n / 2) (fun i ->
+      let hi = Option.get (hex_digit_value clean.[2 * i]) in
+      let lo = Option.get (hex_digit_value clean.[(2 * i) + 1]) in
+      Char.chr ((hi lsl 4) lor lo))
 
 let load_block cfg ~hex ~file =
   if hex then Block.of_bytes cfg (unhex (read_input file))
@@ -175,6 +202,132 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Predict across all nine microarchitectures.")
     Term.(const run $ mode_arg $ hex_arg $ file_arg)
+
+(* ----- batch: parallel prediction of many blocks ----- *)
+
+let batch_cmd =
+  let run arch mode jobs no_memo quiet file =
+    with_cfg arch (fun cfg ->
+        let engine_mode =
+          match mode with
+          | "loop" -> `Loop
+          | "unroll" -> `Unrolled
+          | "auto" -> `Auto
+          | m -> failwith ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)")
+        in
+        (* one block per line: hex machine code, optionally followed by
+           ",<measured cycles>"; blank lines and '#' comments skipped *)
+        let cases =
+          String.split_on_char '\n' (read_input file)
+          |> List.mapi (fun i line -> (i + 1, String.trim line))
+          |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+          |> List.map (fun (lineno, line) ->
+                 let hex, measured =
+                   match String.index_opt line ',' with
+                   | None -> (line, None)
+                   | Some i ->
+                     let m = String.sub line (i + 1) (String.length line - i - 1) in
+                     (match float_of_string_opt (String.trim m) with
+                      | Some v -> (String.sub line 0 i, Some v)
+                      | None ->
+                        failwith
+                          (Printf.sprintf
+                             "line %d: cannot parse measured cycles %S" lineno
+                             (String.trim m)))
+                 in
+                 let block =
+                   match Block.of_bytes cfg (unhex hex) with
+                   | b -> b
+                   | exception Failure m ->
+                     failwith (Printf.sprintf "line %d: %s" lineno m)
+                   | exception Decode.Decode_error (m, off) ->
+                     failwith
+                       (Printf.sprintf "line %d: decode error at byte %d: %s"
+                          lineno off m)
+                 in
+                 (lineno, block, measured))
+        in
+        if cases = [] then failwith "no blocks in input";
+        (match jobs with
+         | Some n when n < 1 ->
+           failwith (Printf.sprintf "--jobs must be at least 1, got %d" n)
+         | _ -> ());
+        let blocks = List.map (fun (_, b, _) -> b) cases in
+        let pool = Facile_engine.Engine.create ?workers:jobs ~memoize:(not no_memo) () in
+        let t0 = Unix.gettimeofday () in
+        let preds =
+          Fun.protect
+            ~finally:(fun () -> Facile_engine.Engine.shutdown pool)
+            (fun () ->
+              Facile_engine.Engine.predict_batch pool ~mode:engine_mode blocks)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if not quiet then begin
+          Printf.printf "%-6s %8s  %s\n" "line" "cycles" "bottlenecks";
+          List.iter2
+            (fun (lineno, _, measured) (p : Model.prediction) ->
+              Printf.printf "%-6d %8.2f  %s%s\n" lineno p.Model.cycles
+                (String.concat "+"
+                   (List.map Model.component_name p.Model.bottlenecks))
+                (match measured with
+                 | Some m -> Printf.sprintf "  (measured %.2f)" m
+                 | None -> ""))
+            cases preds
+        end;
+        let n = List.length blocks in
+        let hits, misses = Facile_engine.Engine.memo_stats pool in
+        Printf.printf "%d blocks on %s in %.3f s (%.0f blocks/s, %d worker%s%s)\n"
+          n cfg.Config.name dt
+          (float_of_int n /. Float.max dt 1e-9)
+          (Facile_engine.Engine.size pool)
+          (if Facile_engine.Engine.size pool = 1 then "" else "s")
+          (if no_memo then ""
+           else
+             Printf.sprintf ", %d unique, %d memo hit%s" misses hits
+               (if hits = 1 then "" else "s"));
+        let pairs =
+          List.filter_map
+            (fun ((_, _, measured), (p : Model.prediction)) ->
+              Option.map (fun m -> (m, p.Model.cycles)) measured)
+            (List.combine cases preds)
+        in
+        if pairs <> [] then begin
+          Printf.printf "aggregate error vs. measured (%d block%s): MAPE %.2f%%"
+            (List.length pairs)
+            (if List.length pairs = 1 then "" else "s")
+            (100.0 *. Facile_stats.Error_metrics.mape pairs);
+          if List.length pairs >= 2 then begin
+            (* tau_b is nan when either variable is constant *)
+            let tau = Facile_stats.Kendall.tau_b pairs in
+            if not (Float.is_nan tau) then
+              Printf.printf ", Kendall tau %.4f" tau
+          end;
+          print_newline ()
+        end)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains (default: the number of cores the runtime \
+       recommends). 1 forces sequential prediction."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let no_memo_arg =
+    let doc = "Disable memoization of repeated blocks." in
+    Arg.(value & flag & info [ "no-memo" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Only print the aggregate summary." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Predict many blocks in parallel (one hex-encoded block per \
+          line, optionally ',<measured cycles>' for aggregate error \
+          metrics).")
+    Term.(const run $ arch_arg $ mode_arg $ jobs_arg $ no_memo_arg $ quiet_arg
+          $ file_arg)
 
 (* ----- simulate ----- *)
 
@@ -367,5 +520,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ predict_cmd; explain_cmd; sweep_cmd; simulate_cmd; isa_cmd;
-            region_cmd; disasm_cmd ]))
+          [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; simulate_cmd;
+            isa_cmd; region_cmd; disasm_cmd ]))

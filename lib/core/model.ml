@@ -74,6 +74,10 @@ let combine variant values candidates fe_path =
         | _ -> None)
       all_components
   in
+  (* report values after idealization too: [bottlenecks] and [cycles]
+     are computed on idealized bounds, so reporting the raw ones would
+     print a component table in which no entry equals [cycles] *)
+  let values = List.map (apply_idealized variant) values in
   { cycles; bottlenecks; values; fe_path }
 
 let predict_u ?(variant = default) b =

@@ -31,7 +31,9 @@ type prediction = {
       (** components whose bound equals [cycles]; ordered front-end
           first (Predec > Dec > LSD > DSB > Issue > Ports > Precedence) *)
   values : (component * float) list;
-      (** every component's raw bound (before ablation filtering) *)
+      (** every component's bound (before ablation filtering, but after
+          [idealized] zeroing, so the table is consistent with
+          [cycles] and [bottlenecks]) *)
   fe_path : fe_path;
 }
 

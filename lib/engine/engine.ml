@@ -1,0 +1,208 @@
+open Facile_uarch
+open Facile_core
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(*                                                                     *)
+(* [size - 1] persistent domains block on [have_work] until a batch    *)
+(* closure is published, run it to exhaustion, and report back via     *)
+(* [quiesced]. The batch closure itself carries the work queue: an     *)
+(* atomic next-chunk counter over the input array, so domains steal    *)
+(* chunks without further coordination and each index is claimed by    *)
+(* exactly one domain.                                                 *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  have_work : Condition.t;
+  quiesced : Condition.t;
+  mutable batch : (unit -> unit) option;
+  mutable epoch : int;  (* bumped per batch; wakes workers exactly once *)
+  mutable active : int; (* workers still inside the current batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  (* memoization of predict_batch *)
+  memoize : bool;
+  memo : (Config.arch * [ `Loop | `Unrolled ] * string, Model.prediction) Hashtbl.t;
+  memo_mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let rec worker_loop pool seen_epoch =
+  Mutex.lock pool.mutex;
+  while (not pool.stop) && pool.epoch = seen_epoch do
+    Condition.wait pool.have_work pool.mutex
+  done;
+  if pool.stop then Mutex.unlock pool.mutex
+  else begin
+    let epoch = pool.epoch in
+    let batch = Option.get pool.batch in
+    Mutex.unlock pool.mutex;
+    (* batch closures store per-task exceptions themselves; a raise here
+       would mean a bug in the engine, not in user code *)
+    batch ();
+    Mutex.lock pool.mutex;
+    pool.active <- pool.active - 1;
+    if pool.active = 0 then Condition.broadcast pool.quiesced;
+    Mutex.unlock pool.mutex;
+    worker_loop pool epoch
+  end
+
+let create ?workers ?(memoize = true) () =
+  let size =
+    match workers with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some n when n >= 1 -> n
+    | Some n -> invalid_arg (Printf.sprintf "Engine.create: workers = %d" n)
+  in
+  let pool =
+    { size; mutex = Mutex.create (); have_work = Condition.create ();
+      quiesced = Condition.create (); batch = None; epoch = 0; active = 0;
+      stop = false; domains = []; memoize; memo = Hashtbl.create 1024;
+      memo_mutex = Mutex.create (); hits = 0; misses = 0 }
+  in
+  pool.domains <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.have_work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ?workers ?memoize f =
+  let pool = create ?workers ?memoize () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Run one batch closure on every domain of the pool (caller included)
+   and wait until all of them drained the work queue. *)
+let run_batch pool batch =
+  if pool.domains = [] then batch ()
+  else begin
+    Mutex.lock pool.mutex;
+    pool.batch <- Some batch;
+    pool.epoch <- pool.epoch + 1;
+    pool.active <- List.length pool.domains;
+    Condition.broadcast pool.have_work;
+    Mutex.unlock pool.mutex;
+    batch ();
+    Mutex.lock pool.mutex;
+    while pool.active > 0 do
+      Condition.wait pool.quiesced pool.mutex
+    done;
+    pool.batch <- None;
+    Mutex.unlock pool.mutex
+  end
+
+let map pool f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else if pool.size = 1 || n = 1 then
+    Array.map (fun x -> f x) xs (* sequential fallback, same order *)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* small chunks balance load; large ones amortize the atomic — a few
+       chunks per worker is a reasonable middle ground *)
+    let chunk = max 1 (n / (pool.size * 8)) in
+    let batch () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          for i = start to min (start + chunk) n - 1 do
+            results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e)
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    run_batch pool batch;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error e) -> raise e
+        | None -> assert false (* run_batch drains every index *))
+      results
+  end
+
+let map_list pool f xs = Array.to_list (map pool f (Array.of_list xs))
+
+(* ------------------------------------------------------------------ *)
+(* Memoized block prediction                                           *)
+
+type mode = [ `Loop | `Unrolled | `Auto ]
+
+let notion_of_block mode (b : Block.t) =
+  match mode with
+  | (`Loop | `Unrolled) as m -> m
+  | `Auto -> if Block.ends_in_branch b then `Loop else `Unrolled
+
+let predict_one notion b =
+  match notion with
+  | `Loop -> Model.predict_l b
+  | `Unrolled -> Model.predict_u b
+
+let predict_batch pool ~mode blocks =
+  let blocks = Array.of_list blocks in
+  if not pool.memoize then
+    Array.to_list
+      (map pool (fun b -> predict_one (notion_of_block mode b) b) blocks)
+  else begin
+    let keys =
+      Array.map
+        (fun (b : Block.t) ->
+          (b.Block.cfg.Config.arch, notion_of_block mode b, b.Block.bytes))
+        blocks
+    in
+    (* consult the cross-batch cache and pick the first occurrence of
+       each unseen key — all on the calling domain, so the parallel
+       section below touches no shared table *)
+    Mutex.lock pool.memo_mutex;
+    let cached = Array.map (Hashtbl.find_opt pool.memo) keys in
+    Mutex.unlock pool.memo_mutex;
+    let first = Hashtbl.create 64 in
+    let todo = ref [] in
+    Array.iteri
+      (fun i k ->
+        if cached.(i) = None && not (Hashtbl.mem first k) then begin
+          Hashtbl.add first k i;
+          todo := i :: !todo
+        end)
+      keys;
+    let todo = Array.of_list (List.rev !todo) in
+    let computed =
+      map pool
+        (fun i -> predict_one (notion_of_block mode blocks.(i)) blocks.(i))
+        todo
+    in
+    let fresh = Hashtbl.create (Array.length todo) in
+    Mutex.lock pool.memo_mutex;
+    Array.iteri
+      (fun j i ->
+        Hashtbl.replace pool.memo keys.(i) computed.(j);
+        Hashtbl.replace fresh keys.(i) computed.(j))
+      todo;
+    pool.misses <- pool.misses + Array.length todo;
+    pool.hits <- pool.hits + (Array.length blocks - Array.length todo);
+    Mutex.unlock pool.memo_mutex;
+    Array.to_list
+      (Array.mapi
+         (fun i k ->
+           match cached.(i) with
+           | Some p -> p
+           | None -> Hashtbl.find fresh k)
+         keys)
+  end
+
+let memo_stats pool =
+  Mutex.lock pool.memo_mutex;
+  let s = (pool.hits, pool.misses) in
+  Mutex.unlock pool.memo_mutex;
+  s

@@ -1,0 +1,64 @@
+(** Domain-based parallel batch-prediction engine.
+
+    A fixed pool of worker domains (sized from
+    [Domain.recommended_domain_count] by default) executes batches of
+    independent per-block work over a chunked work queue. Results are
+    always ordered by input index, and — because every predictor in
+    [Facile_core] is a pure function of its block — a batch produces
+    bit-identical results whatever the pool size. With [workers = 1]
+    no domain is ever spawned and every batch runs sequentially on the
+    calling domain, so the pool can be used unconditionally.
+
+    [predict_batch] adds a memoization layer keyed on
+    [(arch, throughput notion, block bytes)]: repeated blocks in a
+    corpus — common in BHive-style suites — are predicted once and the
+    result is reused, both within a batch and across batches of the
+    same pool. *)
+
+open Facile_core
+
+type t
+
+(** [create ?workers ?memoize ()] starts a pool. [workers] defaults to
+    [Domain.recommended_domain_count ()]; with [workers = 1] the pool
+    is purely sequential. [memoize] (default [true]) enables the
+    prediction cache of {!predict_batch}.
+    @raise Invalid_argument if [workers < 1]. *)
+val create : ?workers:int -> ?memoize:bool -> unit -> t
+
+(** Number of domains doing work for this pool, including the caller. *)
+val size : t -> int
+
+(** [shutdown t] joins the worker domains. The pool must not be used
+    afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ?workers ?memoize f] runs [f] on a fresh pool and
+    shuts it down afterwards, also on exception. *)
+val with_pool : ?workers:int -> ?memoize:bool -> (t -> 'a) -> 'a
+
+(** [map t f xs] — [Array.map f xs], spread over the pool. [f] must be
+    safe to call from any domain (in particular it must not touch
+    domain-unsafe shared state). The result array is ordered like the
+    input; an exception raised by any [f x] is re-raised in the caller
+    after the batch drains. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list t f xs] — [List.map f xs] via {!map}. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** The throughput notion for a batch: [`Loop] forces TP_L, [`Unrolled]
+    forces TP_U, [`Auto] dispatches per block on
+    {!Facile_core.Block.ends_in_branch} (like {!Facile_core.Model.predict}). *)
+type mode = [ `Loop | `Unrolled | `Auto ]
+
+(** [predict_batch t ~mode blocks] predicts every block, in parallel,
+    memoized. The result list is ordered like the input, and is
+    bit-identical to a sequential [List.map] of [Model.predict_l] /
+    [Model.predict_u] for every pool size. *)
+val predict_batch : t -> mode:mode -> Block.t list -> Model.prediction list
+
+(** [(hits, misses)] of the memoization layer since [create]. A miss is
+    a distinct key actually predicted; a hit is a reuse, whether from a
+    duplicate within one batch or from an earlier batch. *)
+val memo_stats : t -> int * int

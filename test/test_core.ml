@@ -413,6 +413,141 @@ let invariant_tests =
             done)
           Facile_bhive.Genblock.all_profiles) ]
 
+(* The masks the Ports component operates on: port sets of dispatched,
+   non-eliminated µops. *)
+let distinct_port_masks (b : Block.t) =
+  List.concat_map
+    (fun (l : Block.logical) ->
+      if l.Block.eliminated then []
+      else
+        List.filter_map
+          (fun (u : Facile_db.Db.uop) ->
+            if Port.is_empty u.Facile_db.Db.ports then None
+            else Some u.Facile_db.Db.ports)
+          l.Block.dispatched)
+    b.Block.logicals
+  |> List.sort_uniq Port.compare
+
+(* The pairwise heuristic only considers unions of pairs of occurring
+   masks, the exhaustive bound every subset of the occurring ports; the
+   heuristic can never exceed it, and with at most two distinct masks
+   every relevant combination (A, B, A∪B) is a pair union, so the two
+   must coincide. *)
+let qcheck_ports_heuristic =
+  QCheck.Test.make
+    ~name:"ports: pairwise <= exhaustive, = with <= 2 distinct masks"
+    ~count:300
+    QCheck.(triple small_nat (int_range 1 10) (int_range 0 7))
+    (fun (seed, len, profile_idx) ->
+      let profiles = Facile_bhive.Genblock.all_profiles in
+      let profile = List.nth profiles (profile_idx mod List.length profiles) in
+      let rng = Facile_bhive.Prng.create (succ seed) in
+      let len = max 1 (min 10 len) (* shrinking can escape int_range *) in
+      let insts =
+        Facile_bhive.Genblock.body rng profile ~allow_fma:false ~len
+      in
+      List.for_all
+        (fun cfg ->
+          let b = Block.of_instructions cfg insts in
+          let fast = Ports.throughput b in
+          let exact = Ports.throughput_exhaustive b in
+          if fast > exact +. 1e-9 then
+            QCheck.Test.fail_reportf
+              "pairwise %.4f exceeds exhaustive %.4f on %s" fast exact
+              cfg.Config.abbrev
+          else
+            let masks = distinct_port_masks b in
+            if List.length masks <= 2 && abs_float (fast -. exact) > 1e-9 then
+              QCheck.Test.fail_reportf
+                "%d distinct masks but pairwise %.4f <> exhaustive %.4f on %s"
+                (List.length masks) fast exact cfg.Config.abbrev
+            else true)
+        [ skl; snb; rkl ])
+
+let ports_property_tests =
+  [ QCheck_alcotest.to_alcotest qcheck_ports_heuristic ]
+
+module Engine = Facile_engine.Engine
+
+let check_predictions_equal (a : Model.prediction) (b : Model.prediction) =
+  if not (Float.equal a.Model.cycles b.Model.cycles) then
+    Alcotest.failf "cycles differ: %h vs %h" a.Model.cycles b.Model.cycles;
+  if a.Model.bottlenecks <> b.Model.bottlenecks then
+    Alcotest.fail "bottlenecks differ";
+  if a.Model.fe_path <> b.Model.fe_path then Alcotest.fail "fe_path differs";
+  List.iter2
+    (fun (c1, v1) (c2, v2) ->
+      assert (c1 = c2);
+      if not (Float.equal v1 v2) then
+        Alcotest.failf "component %s differs: %h vs %h"
+          (Model.component_name c1) v1 v2)
+    a.Model.values b.Model.values
+
+let engine_tests =
+  [ Alcotest.test_case "parallel = sequential, bit-identical" `Quick (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:41 ~size:100 () in
+        let blocks =
+          List.concat_map
+            (fun (c : Facile_bhive.Suite.case) ->
+              [ Block.of_instructions skl c.Facile_bhive.Suite.body;
+                Block.of_instructions skl c.Facile_bhive.Suite.loop ])
+            cases
+        in
+        (* duplicates exercise the memoization path *)
+        let blocks = blocks @ blocks in
+        let predict ~workers ~memoize =
+          Engine.with_pool ~workers ~memoize (fun pool ->
+              Engine.predict_batch pool ~mode:`Auto blocks)
+        in
+        let seq = predict ~workers:1 ~memoize:false in
+        List.iter
+          (fun (workers, memoize) ->
+            let par = predict ~workers ~memoize in
+            List.iter2 check_predictions_equal seq par)
+          [ (1, true); (2, false); (4, true);
+            (max 1 (Domain.recommended_domain_count ()), true) ]);
+    Alcotest.test_case "memoization predicts repeated blocks once" `Quick
+      (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:43 ~size:40 () in
+        let blocks =
+          List.map
+            (fun (c : Facile_bhive.Suite.case) ->
+              Block.of_instructions skl c.Facile_bhive.Suite.body)
+            cases
+        in
+        let unique =
+          List.length
+            (List.sort_uniq compare
+               (List.map (fun (b : Block.t) -> b.Block.bytes) blocks))
+        in
+        Engine.with_pool ~workers:2 (fun pool ->
+            let n = 2 * List.length blocks in
+            ignore (Engine.predict_batch pool ~mode:`Auto (blocks @ blocks));
+            let hits, misses = Engine.memo_stats pool in
+            Alcotest.(check int) "misses = unique blocks" unique misses;
+            Alcotest.(check int) "hits = repeats" (n - unique) hits;
+            (* a second identical batch is served from the cache *)
+            ignore (Engine.predict_batch pool ~mode:`Auto blocks);
+            let hits2, misses2 = Engine.memo_stats pool in
+            Alcotest.(check int) "no new misses" misses misses2;
+            Alcotest.(check int) "all hits" (hits + List.length blocks) hits2));
+    Alcotest.test_case "map keeps order and propagates exceptions" `Quick
+      (fun () ->
+        Engine.with_pool ~workers:4 (fun pool ->
+            let xs = Array.init 1000 Fun.id in
+            let ys = Engine.map pool (fun x -> x * x) xs in
+            Array.iteri
+              (fun i y -> Alcotest.(check int) "ordered" (i * i) y)
+              ys;
+            (match
+               Engine.map pool
+                 (fun x -> if x = 37 then failwith "boom" else x)
+                 xs
+             with
+             | _ -> Alcotest.fail "expected exception"
+             | exception Failure m ->
+               Alcotest.(check string) "original exception" "boom" m))) ]
+
 let region_tests =
   [ Alcotest.test_case "single-block region = block prediction" `Quick
       (fun () ->
@@ -465,4 +600,6 @@ let suite =
     "core.fusion", fusion_tests;
     "core.model", model_tests;
     "core.invariants", invariant_tests;
+    "core.ports.properties", ports_property_tests;
+    "core.engine", engine_tests;
     "core.region", region_tests ]

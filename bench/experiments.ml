@@ -652,3 +652,108 @@ let notion () =
        (geomean of TP_U/TP_L; counts of blocks where each notion is slower)"
     ~header:[ "uArch"; "geomean U/L"; "#U slower"; "#L slower"; "blocks" ]
     rows
+
+(* ------------------------------------------------------------------ *)
+(* Serving mode vs one-shot CLI processes (the point of `facile        *)
+(* serve`: callers stop paying process startup per prediction)         *)
+
+let obs_bench () =
+  let module Serve = Facile_engine.Serve in
+  let module Json = Facile_obs.Json in
+  let cfg = Config.by_arch Config.SKL in
+  let cases = Suite.corpus ~seed:eval_seed ~size:(Suite.default_size ()) () in
+  let hex_of_block (b : Block.t) =
+    String.concat ""
+      (List.init (String.length b.Block.bytes) (fun i ->
+           Printf.sprintf "%02x" (Char.code b.Block.bytes.[i])))
+  in
+  let blocks =
+    List.concat_map
+      (fun (c : Suite.case) ->
+        [ Block.of_instructions cfg c.Suite.body;
+          Block.of_instructions cfg c.Suite.loop ])
+      cases
+  in
+  (* duplicate the corpus, like a real trace, so the service's memo
+     cache has repeats to exploit *)
+  let blocks = blocks @ blocks in
+  let requests =
+    List.mapi
+      (fun i b ->
+        Json.to_string
+          (Json.Obj
+             [ "id", Json.Int i; "arch", Json.Str "SKL";
+               "mode", Json.Str "auto"; "hex", Json.Str (hex_of_block b) ]))
+      blocks
+  in
+  let n = List.length requests in
+  let serve = Serve.create ~workers:1 () in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun line -> ignore (Serve.handle_line serve line)) requests;
+  let dt_serve = Unix.gettimeofday () -. t0 in
+  let stats = Serve.stats_json serve in
+  Serve.shutdown serve;
+  let stat_float path dflt =
+    match
+      List.fold_left
+        (fun acc key -> Option.bind acc (Json.member key))
+        (Some stats) path
+    with
+    | Some v -> Option.value ~default:dflt (Json.float_opt v)
+    | None -> dflt
+  in
+  let p50 = stat_float [ "latency_us"; "p50" ] 0.0 in
+  let p99 = stat_float [ "latency_us"; "p99" ] 0.0 in
+  let hit_rate = stat_float [ "cache"; "hit_rate" ] 0.0 in
+  let served_rps = float_of_int n /. Float.max dt_serve 1e-9 in
+  (* one-shot baseline: a fresh `facile predict` process per request,
+     which is what callers do without a serving mode *)
+  let facile_bin =
+    let candidate =
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        (Filename.concat ".." (Filename.concat "bin" "facile.exe"))
+    in
+    if Sys.file_exists candidate then Some candidate else None
+  in
+  let oneshot_k = 20 in
+  let oneshot_rps =
+    match facile_bin with
+    | None ->
+      print_endline "one-shot baseline skipped: bin/facile.exe not built";
+      0.0
+    | Some bin ->
+      let sample = hex_of_block (List.hd blocks) in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to oneshot_k do
+        ignore
+          (Sys.command
+             (Printf.sprintf
+                "printf '%s' | %s predict -x -a SKL --json >/dev/null 2>&1"
+                sample (Filename.quote bin)))
+      done;
+      float_of_int oneshot_k /. Float.max (Unix.gettimeofday () -. t0) 1e-9
+  in
+  let speedup =
+    if oneshot_rps > 0.0 then served_rps /. oneshot_rps else 0.0
+  in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Serving mode: %d NDJSON requests through one persistent service \
+          vs one-shot CLI processes (Skylake)"
+         n)
+    ~header:[ "configuration"; "requests/s"; "p50 us"; "p99 us" ]
+    [ [ "facile serve (persistent)"; Printf.sprintf "%.0f" served_rps;
+        Printf.sprintf "%.1f" p50; Printf.sprintf "%.1f" p99 ];
+      [ "one-shot CLI process";
+        (if oneshot_rps > 0.0 then Printf.sprintf "%.0f" oneshot_rps
+         else "n/a");
+        "-"; "-" ] ];
+  Printf.printf "cache hit rate: %.2f; speedup vs one-shot: %s\n" hit_rate
+    (if speedup > 0.0 then Printf.sprintf "%.1fx" speedup else "n/a");
+  Printf.printf
+    "BENCH {\"name\":\"obs\",\"requests\":%d,\"served_rps\":%.0f,\
+     \"oneshot_rps\":%.0f,\"speedup\":%.3f,\"p50_us\":%.1f,\
+     \"p99_us\":%.1f,\"cache_hit_rate\":%.3f}\n"
+    n served_rps oneshot_rps speedup p50 p99 hit_rate

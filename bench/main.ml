@@ -14,6 +14,7 @@ let experiments =
     "fig6", Experiments.fig6;
     "microbench", Experiments.microbench;
     "engine", Experiments.engine_bench;
+    "obs", Experiments.obs_bench;
     "ablations", Experiments.ablations;
     "region", Experiments.region;
     "notion", Experiments.notion ]

@@ -1,11 +1,19 @@
 (* Command-line front end, the role facile.py plays for the original
    tool: predict basic-block throughput, explain bottlenecks, sweep
-   microarchitectures, or run the reference pipeline simulator. *)
+   microarchitectures, serve predictions over NDJSON, or run the
+   reference pipeline simulator.
+
+   Input errors are typed (Facile_x86.Err): every kind maps to a
+   distinct exit code here and to the wire `error.kind` field in
+   `facile serve`, so callers can branch on the failure class. *)
 
 open Cmdliner
 open Facile_x86
 open Facile_uarch
 open Facile_core
+module Json = Facile_obs.Json
+
+let ( let* ) = Result.bind
 
 let read_input = function
   | Some path ->
@@ -31,56 +39,67 @@ let read_input = function
     loop ();
     Buffer.contents buf
 
-let hex_digit_value c =
-  match c with
-  | '0' .. '9' -> Some (Char.code c - Char.code '0')
-  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
-  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
-  | _ -> None
+let decode_block cfg code =
+  match Block.of_bytes cfg code with
+  | b -> Ok b
+  | exception Decode.Decode_error (m, off) ->
+    Error (Err.v ~pos:off Err.Encode_error ("cannot decode: " ^ m))
+  | exception Facile_db.Db.Unsupported m ->
+    Error (Err.v Err.Encode_error ("unsupported instruction: " ^ m))
+  | exception Failure m -> Error (Err.v Err.Encode_error m)
 
-let unhex s =
-  (* keep the original byte offset of every retained digit so errors
-     can point into the input as the user wrote it *)
-  let digits = Buffer.create (String.length s) in
-  String.iteri
-    (fun i c ->
-      match c with
-      | ' ' | '\n' | '\t' | '\r' -> ()
-      | c ->
-        (match hex_digit_value c with
-         | Some _ -> Buffer.add_char digits c
-         | None ->
-           failwith
-             (Printf.sprintf "invalid hex character %C at byte offset %d" c i)))
-    s;
-  let clean = Buffer.contents digits in
-  let n = String.length clean in
-  if n mod 2 <> 0 then
-    failwith
-      (Printf.sprintf
-         "hex input must have an even number of digits, got %d" n);
-  String.init (n / 2) (fun i ->
-      let hi = Option.get (hex_digit_value clean.[2 * i]) in
-      let lo = Option.get (hex_digit_value clean.[(2 * i) + 1]) in
-      Char.chr ((hi lsl 4) lor lo))
+let parse_asm_block cfg text =
+  match Asm.parse_block text with
+  | Error m -> Error (Err.v Err.Parse_error ("cannot parse assembly: " ^ m))
+  | Ok insts ->
+    (match Block.of_instructions cfg insts with
+     | b -> Ok b
+     | exception Encode.Unencodable m ->
+       Error (Err.v Err.Encode_error ("cannot encode: " ^ m))
+     | exception Facile_db.Db.Unsupported m ->
+       Error (Err.v Err.Encode_error ("unsupported instruction: " ^ m))
+     | exception Failure m -> Error (Err.v Err.Encode_error m))
 
 let load_block cfg ~hex ~file =
-  if hex then Block.of_bytes cfg (unhex (read_input file))
-  else
-    match Asm.parse_block (read_input file) with
-    | Ok insts -> Block.of_instructions cfg insts
-    | Error m -> failwith ("cannot parse assembly: " ^ m)
+  if hex then
+    let* code = Hex.decode (read_input file) in
+    decode_block cfg code
+  else parse_asm_block cfg (read_input file)
 
 let mode_of_block block = function
-  | "loop" -> `Loop
-  | "unroll" -> `Unrolled
-  | "auto" -> if Block.ends_in_branch block then `Loop else `Unrolled
-  | m -> failwith ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)")
+  | "loop" -> Ok `Loop
+  | "unroll" -> Ok `Unrolled
+  | "auto" -> Ok (if Block.ends_in_branch block then `Loop else `Unrolled)
+  | m ->
+    Error
+      (Err.v Err.Unknown_mode
+         ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)"))
 
 let predict_block block mode =
-  match mode with
-  | `Loop -> Model.predict_l block
-  | `Unrolled -> Model.predict_u block
+  Model.predict
+    ~notion:(match mode with `Loop -> Model.L | `Unrolled -> Model.U)
+    block
+
+let mode_name = function `Loop -> "loop" | `Unrolled -> "unroll"
+
+(* Run a command body; typed errors exit with their kind's code,
+   untyped Failure keeps the generic exit 1. *)
+let finish f =
+  match f () with
+  | Ok () -> 0
+  | Error (e : Err.t) ->
+    prerr_endline ("error: " ^ Err.to_string e);
+    Err.exit_code e.Err.kind
+  | exception Failure m ->
+    prerr_endline ("error: " ^ m);
+    1
+
+let run_command arch f =
+  match Config.of_abbrev arch with
+  | Some cfg -> finish (fun () -> f cfg)
+  | None ->
+    prerr_endline ("error: unknown microarchitecture: " ^ arch);
+    Err.exit_code Err.Unknown_arch
 
 let print_prediction cfg block mode =
   let p = predict_block block mode in
@@ -99,6 +118,13 @@ let print_prediction cfg block mode =
     p.Model.values;
   p
 
+(* the shared prediction encoding (Model.prediction_to_json), prefixed
+   with call-site context fields *)
+let prediction_with_context extra p =
+  match Model.prediction_to_json p with
+  | Json.Obj fields -> Json.Obj (extra @ fields)
+  | other -> Json.Obj (extra @ [ "prediction", other ])
+
 (* ----- predict ----- *)
 
 let arch_arg =
@@ -113,31 +139,39 @@ let hex_arg =
   let doc = "Treat the input as hex-encoded machine code instead of assembly." in
   Arg.(value & flag & info [ "x"; "hex" ] ~doc)
 
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of the human-readable report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let file_arg =
   let doc = "Input file (defaults to stdin)." in
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
-let with_cfg arch f =
-  match Config.of_abbrev arch with
-  | Some cfg -> (try f cfg; 0 with Failure m -> prerr_endline ("error: " ^ m); 1)
-  | None -> prerr_endline ("unknown microarchitecture: " ^ arch); 1
-
 let predict_cmd =
-  let run arch mode hex file =
-    with_cfg arch (fun cfg ->
-        let block = load_block cfg ~hex ~file in
-        ignore (print_prediction cfg block (mode_of_block block mode)))
+  let run arch mode hex json file =
+    run_command arch (fun cfg ->
+        let* block = load_block cfg ~hex ~file in
+        let* mode = mode_of_block block mode in
+        if json then
+          print_endline
+            (Json.to_string
+               (prediction_with_context
+                  [ "arch", Json.Str cfg.Config.abbrev;
+                    "mode", Json.Str (mode_name mode) ]
+                  (predict_block block mode)))
+        else ignore (print_prediction cfg block mode);
+        Ok ())
   in
   Cmd.v (Cmd.info "predict" ~doc:"Predict basic-block throughput.")
-    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ file_arg)
+    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ json_arg $ file_arg)
 
 (* ----- explain ----- *)
 
 let explain_cmd =
   let run arch mode hex file =
-    with_cfg arch (fun cfg ->
-        let block = load_block cfg ~hex ~file in
-        let mode = mode_of_block block mode in
+    run_command arch (fun cfg ->
+        let* block = load_block cfg ~hex ~file in
+        let* mode = mode_of_block block mode in
         let p = print_prediction cfg block mode in
         print_newline ();
         if List.mem Model.Precedence p.Model.bottlenecks then begin
@@ -166,7 +200,8 @@ let explain_cmd =
           (fun c ->
             Printf.printf "  %-11s %.2fx\n" (Model.component_name c)
               (Model.speedup_idealizing block c))
-          Model.[ Predec; Dec; Issue; Ports; Precedence ])
+          Model.[ Predec; Dec; Issue; Ports; Precedence ];
+        Ok ())
   in
   Cmd.v
     (Cmd.info "explain"
@@ -177,27 +212,33 @@ let explain_cmd =
 
 let sweep_cmd =
   let run mode hex file =
-    (try
-       (* read the input once: stdin cannot be re-read per µarch *)
-       let text = read_input file in
-       let build cfg =
-         if hex then Block.of_bytes cfg (unhex text)
-         else
-           match Asm.parse_block text with
-           | Ok insts -> Block.of_instructions cfg insts
-           | Error m -> failwith ("cannot parse assembly: " ^ m)
-       in
-       let blocks = List.map (fun cfg -> (cfg, build cfg)) Config.all in
-       Printf.printf "%-14s %6s  %-24s\n" "uArch" "cycles" "bottlenecks";
-       List.iter
-         (fun ((cfg : Config.t), block) ->
-           let p = predict_block block (mode_of_block block mode) in
-           Printf.printf "%-14s %6.2f  %s\n" cfg.Config.name p.Model.cycles
-             (String.concat "+"
-                (List.map Model.component_name p.Model.bottlenecks)))
-         blocks;
-       0
-     with Failure m -> prerr_endline ("error: " ^ m); 1)
+    finish (fun () ->
+        (* read the input once: stdin cannot be re-read per µarch *)
+        let text = read_input file in
+        let build cfg =
+          if hex then
+            let* code = Hex.decode text in
+            decode_block cfg code
+          else parse_asm_block cfg text
+        in
+        let* rows =
+          List.fold_left
+            (fun acc cfg ->
+              let* acc = acc in
+              let* block = build cfg in
+              let* m = mode_of_block block mode in
+              Ok ((cfg, predict_block block m) :: acc))
+            (Ok []) Config.all
+          |> Result.map List.rev
+        in
+        Printf.printf "%-14s %6s  %-24s\n" "uArch" "cycles" "bottlenecks";
+        List.iter
+          (fun ((cfg : Config.t), (p : Model.prediction)) ->
+            Printf.printf "%-14s %6.2f  %s\n" cfg.Config.name p.Model.cycles
+              (String.concat "+"
+                 (List.map Model.component_name p.Model.bottlenecks)))
+          rows;
+        Ok ())
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Predict across all nine microarchitectures.")
@@ -205,47 +246,74 @@ let sweep_cmd =
 
 (* ----- batch: parallel prediction of many blocks ----- *)
 
+let jobs_arg =
+  let doc =
+    "Worker domains (default: the number of cores the runtime \
+     recommends). 1 forces sequential prediction."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_memo_arg =
+  let doc = "Disable memoization of repeated blocks." in
+  Arg.(value & flag & info [ "no-memo" ] ~doc)
+
 let batch_cmd =
-  let run arch mode jobs no_memo quiet file =
-    with_cfg arch (fun cfg ->
-        let engine_mode =
+  let run arch mode jobs no_memo quiet json file =
+    run_command arch (fun cfg ->
+        let* engine_mode =
           match mode with
-          | "loop" -> `Loop
-          | "unroll" -> `Unrolled
-          | "auto" -> `Auto
-          | m -> failwith ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)")
+          | "loop" -> Ok `Loop
+          | "unroll" -> Ok `Unrolled
+          | "auto" -> Ok `Auto
+          | m ->
+            Error
+              (Err.v Err.Unknown_mode
+                 ("unknown mode: " ^ m ^ " (expected loop|unroll|auto)"))
         in
         (* one block per line: hex machine code, optionally followed by
            ",<measured cycles>"; blank lines and '#' comments skipped *)
-        let cases =
-          String.split_on_char '\n' (read_input file)
-          |> List.mapi (fun i line -> (i + 1, String.trim line))
-          |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
-          |> List.map (fun (lineno, line) ->
-                 let hex, measured =
-                   match String.index_opt line ',' with
-                   | None -> (line, None)
-                   | Some i ->
-                     let m = String.sub line (i + 1) (String.length line - i - 1) in
-                     (match float_of_string_opt (String.trim m) with
-                      | Some v -> (String.sub line 0 i, Some v)
-                      | None ->
-                        failwith
-                          (Printf.sprintf
-                             "line %d: cannot parse measured cycles %S" lineno
-                             (String.trim m)))
-                 in
-                 let block =
-                   match Block.of_bytes cfg (unhex hex) with
-                   | b -> b
-                   | exception Failure m ->
-                     failwith (Printf.sprintf "line %d: %s" lineno m)
-                   | exception Decode.Decode_error (m, off) ->
-                     failwith
-                       (Printf.sprintf "line %d: decode error at byte %d: %s"
-                          lineno off m)
-                 in
-                 (lineno, block, measured))
+        let exception Line of Err.t in
+        let* cases =
+          try
+            Ok
+              (String.split_on_char '\n' (read_input file)
+              |> List.mapi (fun i line -> (i + 1, String.trim line))
+              |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+              |> List.map (fun (lineno, line) ->
+                     let at_line (e : Err.t) =
+                       Err.v ?pos:e.Err.pos e.Err.kind
+                         (Printf.sprintf "line %d: %s" lineno e.Err.msg)
+                     in
+                     let hex, measured =
+                       match String.index_opt line ',' with
+                       | None -> (line, None)
+                       | Some i ->
+                         let m =
+                           String.sub line (i + 1) (String.length line - i - 1)
+                         in
+                         (match float_of_string_opt (String.trim m) with
+                          | Some v -> (String.sub line 0 i, Some v)
+                          | None ->
+                            raise
+                              (Line
+                                 (Err.v Err.Parse_error
+                                    (Printf.sprintf
+                                       "line %d: cannot parse measured \
+                                        cycles %S"
+                                       lineno (String.trim m)))))
+                     in
+                     let code =
+                       match Hex.decode hex with
+                       | Ok c -> c
+                       | Error e -> raise (Line (at_line e))
+                     in
+                     let block =
+                       match decode_block cfg code with
+                       | Ok b -> b
+                       | Error e -> raise (Line (at_line e))
+                     in
+                     (lineno, block, measured)))
+          with Line e -> Error e
         in
         if cases = [] then failwith "no blocks in input";
         (match jobs with
@@ -262,7 +330,22 @@ let batch_cmd =
               Facile_engine.Engine.predict_batch pool ~mode:engine_mode blocks)
         in
         let dt = Unix.gettimeofday () -. t0 in
-        if not quiet then begin
+        if json then
+          (* NDJSON, one object per block via the shared encoding; the
+             human-readable summary moves to stderr *)
+          List.iter2
+            (fun (lineno, _, measured) (p : Model.prediction) ->
+              print_endline
+                (Json.to_string
+                   (prediction_with_context
+                      (("line", Json.Int lineno)
+                       ::
+                       (match measured with
+                        | Some m -> [ "measured", Json.Float m ]
+                        | None -> []))
+                      p)))
+            cases preds
+        else if not quiet then begin
           Printf.printf "%-6s %8s  %s\n" "line" "cycles" "bottlenecks";
           List.iter2
             (fun (lineno, _, measured) (p : Model.prediction) ->
@@ -274,10 +357,12 @@ let batch_cmd =
                  | None -> ""))
             cases preds
         end;
+        let out = if json then stderr else stdout in
         let n = List.length blocks in
         let hits, misses = Facile_engine.Engine.memo_stats pool in
-        Printf.printf "%d blocks on %s in %.3f s (%.0f blocks/s, %d worker%s%s)\n"
-          n cfg.Config.name dt
+        Printf.fprintf out
+          "%d blocks on %s in %.3f s (%.0f blocks/s, %d worker%s%s)\n" n
+          cfg.Config.name dt
           (float_of_int n /. Float.max dt 1e-9)
           (Facile_engine.Engine.size pool)
           (if Facile_engine.Engine.size pool = 1 then "" else "s")
@@ -292,7 +377,8 @@ let batch_cmd =
             (List.combine cases preds)
         in
         if pairs <> [] then begin
-          Printf.printf "aggregate error vs. measured (%d block%s): MAPE %.2f%%"
+          Printf.fprintf out
+            "aggregate error vs. measured (%d block%s): MAPE %.2f%%"
             (List.length pairs)
             (if List.length pairs = 1 then "" else "s")
             (100.0 *. Facile_stats.Error_metrics.mape pairs);
@@ -300,21 +386,11 @@ let batch_cmd =
             (* tau_b is nan when either variable is constant *)
             let tau = Facile_stats.Kendall.tau_b pairs in
             if not (Float.is_nan tau) then
-              Printf.printf ", Kendall tau %.4f" tau
+              Printf.fprintf out ", Kendall tau %.4f" tau
           end;
-          print_newline ()
-        end)
-  in
-  let jobs_arg =
-    let doc =
-      "Worker domains (default: the number of cores the runtime \
-       recommends). 1 forces sequential prediction."
-    in
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-  in
-  let no_memo_arg =
-    let doc = "Disable memoization of repeated blocks." in
-    Arg.(value & flag & info [ "no-memo" ] ~doc)
+          output_char out '\n'
+        end;
+        Ok ())
   in
   let quiet_arg =
     let doc = "Only print the aggregate summary." in
@@ -327,15 +403,57 @@ let batch_cmd =
           line, optionally ',<measured cycles>' for aggregate error \
           metrics).")
     Term.(const run $ arch_arg $ mode_arg $ jobs_arg $ no_memo_arg $ quiet_arg
-          $ file_arg)
+          $ json_arg $ file_arg)
+
+(* ----- serve: long-running NDJSON prediction service ----- *)
+
+let serve_cmd =
+  let run jobs no_memo =
+    (match jobs with
+     | Some n when n < 1 ->
+       failwith (Printf.sprintf "--jobs must be at least 1, got %d" n)
+     | _ -> ());
+    let t =
+      Facile_engine.Serve.create ?workers:jobs ~memoize:(not no_memo) ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Facile_engine.Serve.shutdown t)
+      (fun () -> Facile_engine.Serve.run t stdin stdout);
+    0
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Reads one JSON request object per line from standard input \
+         and answers each with one JSON object on standard output. \
+         The engine pool and its memoization cache persist across \
+         requests, so repeated blocks are predicted once.";
+      `P
+        "Request: {\"id\":..,\"arch\":\"SKL\",\"mode\":\"auto\",\
+         \"hex\":\"4801d8\"} (or \"asm\":\"add rax, rbx\" instead of \
+         \"hex\"). Response: {\"id\":..,\"cycles\":..,\
+         \"bottlenecks\":[..],\"values\":{..},\"fe_path\":..} or \
+         {\"id\":..,\"error\":{\"kind\":..,\"msg\":..}}.";
+      `P
+        "{\"cmd\":\"stats\"} returns request counts, error counts by \
+         kind, cache hit rate, p50/p95/p99 latency, and per-component \
+         time attribution. Malformed input yields a typed error \
+         response; the loop ends only at end-of-file." ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man
+       ~doc:"Serve predictions over an NDJSON request/response loop.")
+    Term.(const (fun jobs no_memo -> try run jobs no_memo with Failure m ->
+             prerr_endline ("error: " ^ m); 1)
+          $ jobs_arg $ no_memo_arg)
 
 (* ----- simulate ----- *)
 
 let simulate_cmd =
   let run arch mode hex file =
-    with_cfg arch (fun cfg ->
-        let block = load_block cfg ~hex ~file in
-        let mode = mode_of_block block mode in
+    run_command arch (fun cfg ->
+        let* block = load_block cfg ~hex ~file in
+        let* mode = mode_of_block block mode in
         let p = predict_block block mode in
         let hw =
           Facile_sim.Sim.cycles_per_iteration ~fidelity:Facile_sim.Sim.Hardware
@@ -345,7 +463,8 @@ let simulate_cmd =
           "facile: %.2f cycles/iter; pipeline simulator: %.2f cycles/iter \
            (%.1f%% difference)\n"
           p.Model.cycles hw
-          (100.0 *. abs_float (hw -. p.Model.cycles) /. Float.max hw 1e-9))
+          (100.0 *. abs_float (hw -. p.Model.cycles) /. Float.max hw 1e-9);
+        Ok ())
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -356,7 +475,7 @@ let simulate_cmd =
 
 let isa_cmd =
   let run arch filter =
-    with_cfg arch (fun cfg ->
+    run_command arch (fun cfg ->
         (* describe each distinct mnemonic once, on register operands *)
         let rng = Facile_bhive.Prng.create 1 in
         let seen = Hashtbl.create 128 in
@@ -406,7 +525,8 @@ let isa_cmd =
           (Facile_report.Table.render
              ~header:
                [ "mnemonic"; "fused"; "issued"; "lat"; "ports"; "fuses" ]
-             rows))
+             rows);
+        Ok ())
   in
   let filter_arg =
     let doc = "Only show this mnemonic." in
@@ -421,7 +541,7 @@ let isa_cmd =
 
 let region_cmd =
   let run arch file =
-    with_cfg arch (fun cfg ->
+    run_command arch (fun cfg ->
         (* input format: blocks separated by lines "== <weight>" *)
         let text = read_input file in
         let sections =
@@ -448,13 +568,15 @@ let region_cmd =
         in
         if sections = [] then
           failwith "no blocks: separate blocks with '== <weight>' lines";
-        let region =
-          List.map
-            (fun (w, buf) ->
+        let* region =
+          List.fold_left
+            (fun acc (w, buf) ->
+              let* acc = acc in
               match Asm.parse_block (Buffer.contents buf) with
-              | Ok insts -> { Region.insts; weight = w }
-              | Error m -> failwith m)
-            sections
+              | Ok insts -> Ok ({ Region.insts; weight = w } :: acc)
+              | Error m -> Error (Err.v Err.Parse_error m))
+            (Ok []) sections
+          |> Result.map List.rev
         in
         let r = Region.analyze cfg region in
         Printf.printf
@@ -467,7 +589,8 @@ let region_cmd =
         List.iter
           (fun (c, v) ->
             Printf.printf "    %-11s %.2f\n" (Model.component_name c) v)
-          r.Region.component_values)
+          r.Region.component_values;
+        Ok ())
   in
   Cmd.v
     (Cmd.info "region"
@@ -480,9 +603,9 @@ let region_cmd =
 
 let disasm_cmd =
   let run arch file =
-    with_cfg arch (fun cfg ->
-        let code = unhex (read_input file) in
-        let block = Block.of_bytes cfg code in
+    run_command arch (fun cfg ->
+        let* code = Hex.decode (read_input file) in
+        let* block = decode_block cfg code in
         Printf.printf "%-6s %-4s %-22s %-40s %s\n" "off" "len" "bytes"
           "instruction" "uops/lat";
         List.iter
@@ -504,7 +627,8 @@ let disasm_cmd =
               (if lay.Encode.lcp then ", LCP" else "")
               (if d.Facile_db.Db.eliminated then ", eliminated" else "")
               (if e.Block.fuses_with_next then ", fuses with next" else ""))
-          block.Block.entries)
+          block.Block.entries;
+        Ok ())
   in
   Cmd.v
     (Cmd.info "disasm"
@@ -520,5 +644,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; simulate_cmd;
-            isa_cmd; region_cmd; disasm_cmd ]))
+          [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; serve_cmd;
+            simulate_cmd; isa_cmd; region_cmd; disasm_cmd ]))

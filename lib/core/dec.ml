@@ -18,7 +18,10 @@ let simple (b : Block.t) =
     Float.max (float_of_int n /. float_of_int d) (float_of_int c)
   end
 
+let span = Facile_obs.Obs.histogram "model.dec"
+
 let throughput (b : Block.t) =
+  Facile_obs.Obs.timed span @@ fun () ->
   let items = Array.of_list b.Block.logicals in
   let n_items = Array.length items in
   if n_items = 0 then 0.0

@@ -80,11 +80,15 @@ let combine variant values candidates fe_path =
   let values = List.map (apply_idealized variant) values in
   { cycles; bottlenecks; values; fe_path }
 
-let predict_u ?(variant = default) b =
+(* Throughput notion: TP_U (unrolled), TP_L (loop), or pick from the
+   block's final instruction, the paper's §3.1 convention. *)
+type notion = U | L | Auto
+
+let unrolled variant b =
   let values = raw_values variant `Unrolled b in
   combine variant values [ Predec; Dec; Issue; Ports; Precedence ] FE_none
 
-let predict_l ?(variant = default) b =
+let looped variant b =
   let values = raw_values variant `Loop b in
   let cfg = b.Block.cfg in
   let fe_candidates, fe_path =
@@ -97,9 +101,19 @@ let predict_l ?(variant = default) b =
     (fe_candidates @ [ Issue; Ports; Precedence ])
     fe_path
 
-let predict ?(variant = default) b =
-  if Block.ends_in_branch b then predict_l ~variant b
-  else predict_u ~variant b
+(* The single prediction entry point; every surface (CLI, engine,
+   bench, serve) goes through here. *)
+let predict ?(variant = default) ?(notion = Auto) b =
+  match notion with
+  | U -> unrolled variant b
+  | L -> looped variant b
+  | Auto ->
+    if Block.ends_in_branch b then looped variant b else unrolled variant b
+
+(* Deprecated spellings, kept as thin wrappers so existing callers and
+   published snippets keep compiling; prefer [predict ~notion]. *)
+let predict_u ?(variant = default) b = predict ~variant ~notion:U b
+let predict_l ?(variant = default) b = predict ~variant ~notion:L b
 
 let bottleneck ?(variant = default) b =
   let p = predict ~variant b in
@@ -108,6 +122,30 @@ let bottleneck ?(variant = default) b =
   | [] -> Issue (* empty block: arbitrary but stable *)
 
 let speedup_idealizing b c =
-  let base = (predict_u b).cycles in
-  let ideal = (predict_u ~variant:{ default with idealized = [ c ] } b).cycles in
+  let base = (predict ~notion:U b).cycles in
+  let ideal =
+    (predict ~variant:{ default with idealized = [ c ] } ~notion:U b).cycles
+  in
   if ideal <= 0.0 then 1.0 else base /. ideal
+
+(* ----- serialization ----- *)
+
+let fe_path_name = function
+  | FE_decoders -> "decoders"
+  | FE_lsd -> "lsd"
+  | FE_dsb -> "dsb"
+  | FE_none -> "none"
+
+(* The one JSON encoding of a prediction.  `facile predict --json`,
+   `facile batch --json`, and `facile serve` all call this, so the
+   three surfaces cannot drift in field names. *)
+let prediction_to_json (p : prediction) : Facile_obs.Json.t =
+  let open Facile_obs in
+  Json.Obj
+    [ "cycles", Json.Float p.cycles;
+      "bottlenecks",
+      Json.Arr (List.map (fun c -> Json.Str (component_name c)) p.bottlenecks);
+      "values",
+      Json.Obj
+        (List.map (fun (c, v) -> (component_name c, Json.Float v)) p.values);
+      "fe_path", Json.Str (fe_path_name p.fe_path) ]

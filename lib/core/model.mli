@@ -37,15 +37,23 @@ type prediction = {
   fe_path : fe_path;
 }
 
-(** [predict_u b] — throughput under unrolling (Equation 1). *)
+(** Throughput notion: [U] — unrolled (TP_U, Equation 1); [L] — the
+    block executed as a loop (TP_L, Equations 2 and 3, including the
+    JCC-erratum and LSD conditions); [Auto] dispatches on
+    {!Block.ends_in_branch} (the paper's §3.1 convention). *)
+type notion = U | L | Auto
+
+(** [predict ?variant ?notion b] — the single prediction entry point;
+    [notion] defaults to [Auto]. *)
+val predict : ?variant:variant -> ?notion:notion -> Block.t -> prediction
+
+(** [predict_u b] is [predict ~notion:U b].
+    @deprecated use [predict ~notion:U]. *)
 val predict_u : ?variant:variant -> Block.t -> prediction
 
-(** [predict_l b] — throughput of the block executed as a loop
-    (Equations 2 and 3, including the JCC-erratum and LSD conditions). *)
+(** [predict_l b] is [predict ~notion:L b].
+    @deprecated use [predict ~notion:L]. *)
 val predict_l : ?variant:variant -> Block.t -> prediction
-
-(** [predict b] dispatches on {!Block.ends_in_branch}. *)
-val predict : ?variant:variant -> Block.t -> prediction
 
 (** [bottleneck b] — the single bottleneck under the paper's
     front-end-first tie-breaking (used for the Figure 6 Sankey). *)
@@ -54,3 +62,11 @@ val bottleneck : ?variant:variant -> Block.t -> component
 (** [speedup_idealizing b c] — ratio [cycles / cycles-with-c-idealized]
     under TP_U (Table 4); 1.0 when [c] is not a bottleneck. *)
 val speedup_idealizing : Block.t -> component -> float
+
+(** Wire name of a front-end path ("decoders", "lsd", "dsb", "none"). *)
+val fe_path_name : fe_path -> string
+
+(** The one JSON encoding of a prediction, shared by
+    [facile predict --json], [facile batch --json], and
+    [facile serve] so the three surfaces cannot drift. *)
+val prediction_to_json : prediction -> Facile_obs.Json.t

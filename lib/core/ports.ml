@@ -35,7 +35,10 @@ let best (b : Block.t) =
       | _ -> Some (comb, count, bound))
     None pc'
 
+let span = Facile_obs.Obs.histogram "model.ports"
+
 let throughput b =
+  Facile_obs.Obs.timed span @@ fun () ->
   match best b with Some (_, _, bound) -> bound | None -> 0.0
 
 let critical_combination b =

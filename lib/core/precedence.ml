@@ -112,7 +112,10 @@ let build (b : Block.t) =
 
 let graph = build
 
+let span = Facile_obs.Obs.histogram "model.precedence"
+
 let throughput b =
+  Facile_obs.Obs.timed span @@ fun () ->
   let g, _ = build b in
   match Cycle_ratio.howard g with
   | Some r when r > 0.0 -> r

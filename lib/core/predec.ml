@@ -4,7 +4,11 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 let simple (b : Block.t) = float_of_int b.Block.len /. 16.0
 
+(* resolved once: recording is lock-free, only the first lookup locks *)
+let span = Facile_obs.Obs.histogram "model.predec"
+
 let throughput ~mode (b : Block.t) =
+  Facile_obs.Obs.timed span @@ fun () ->
   let l = b.Block.len in
   if l = 0 then 0.0
   else begin

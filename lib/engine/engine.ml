@@ -146,10 +146,39 @@ let notion_of_block mode (b : Block.t) =
 
 let predict_one notion b =
   match notion with
-  | `Loop -> Model.predict_l b
-  | `Unrolled -> Model.predict_u b
+  | `Loop -> Model.predict ~notion:Model.L b
+  | `Unrolled -> Model.predict ~notion:Model.U b
+
+(* resolved once; see Facile_obs.Obs — recording is lock-free *)
+let batch_span = Facile_obs.Obs.histogram "engine.batch"
+let predict_span = Facile_obs.Obs.histogram "engine.predict"
+
+(* Memoized single-block prediction on the calling domain: the serving
+   layer's per-request path, sharing the cross-batch cache (and its
+   hit/miss accounting) with [predict_batch]. *)
+let predict pool ~mode b =
+  Facile_obs.Obs.timed predict_span @@ fun () ->
+  let notion = notion_of_block mode b in
+  if not pool.memoize then predict_one notion b
+  else begin
+    let key = (b.Block.cfg.Config.arch, notion, b.Block.bytes) in
+    Mutex.lock pool.memo_mutex;
+    let cached = Hashtbl.find_opt pool.memo key in
+    (match cached with Some _ -> pool.hits <- pool.hits + 1 | None -> ());
+    Mutex.unlock pool.memo_mutex;
+    match cached with
+    | Some p -> p
+    | None ->
+      let p = predict_one notion b in
+      Mutex.lock pool.memo_mutex;
+      pool.misses <- pool.misses + 1;
+      Hashtbl.replace pool.memo key p;
+      Mutex.unlock pool.memo_mutex;
+      p
+  end
 
 let predict_batch pool ~mode blocks =
+  Facile_obs.Obs.timed batch_span @@ fun () ->
   let blocks = Array.of_list blocks in
   if not pool.memoize then
     Array.to_list

@@ -54,9 +54,14 @@ type mode = [ `Loop | `Unrolled | `Auto ]
 
 (** [predict_batch t ~mode blocks] predicts every block, in parallel,
     memoized. The result list is ordered like the input, and is
-    bit-identical to a sequential [List.map] of [Model.predict_l] /
-    [Model.predict_u] for every pool size. *)
+    bit-identical to a sequential [List.map] of
+    [Model.predict ~notion] for every pool size. *)
 val predict_batch : t -> mode:mode -> Block.t list -> Model.prediction list
+
+(** [predict t ~mode b] — memoized single-block prediction on the
+    calling domain, sharing the cache (and hit/miss accounting) with
+    {!predict_batch}. This is the serving layer's per-request path. *)
+val predict : t -> mode:mode -> Block.t -> Model.prediction
 
 (** [(hits, misses)] of the memoization layer since [create]. A miss is
     a distinct key actually predicted; a hit is a reuse, whether from a

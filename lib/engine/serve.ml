@@ -1,0 +1,234 @@
+(* Long-running NDJSON prediction service on top of the engine: one
+   JSON request object per line in, one JSON response object per line
+   out.  The engine pool and its memo cache persist across requests,
+   so a traffic-serving deployment pays decode+predict once per
+   distinct block instead of a process start per request.  Malformed
+   input of any shape produces a typed error response, never a crash:
+   the loop only ends at EOF. *)
+
+open Facile_x86
+open Facile_uarch
+open Facile_core
+module Json = Facile_obs.Json
+module Obs = Facile_obs.Obs
+module Clock = Facile_obs.Clock
+
+type t = {
+  engine : Engine.t;
+  latency : Obs.Histogram.t;  (* per-line handling latency, ns *)
+  mu : Mutex.t;
+  by_arch : (string, int) Hashtbl.t;   (* successful predictions per arch *)
+  by_kind : (string, int) Hashtbl.t;   (* error responses per kind *)
+  mutable total : int;                 (* every line handled, incl. stats *)
+  mutable predicted : int;             (* successful predictions *)
+  mutable stats_served : int;
+  mutable errors : int;
+  started_ns : int;
+}
+
+let create ?workers ?memoize () =
+  { engine = Engine.create ?workers ?memoize ();
+    latency = Obs.Histogram.create ();
+    mu = Mutex.create ();
+    by_arch = Hashtbl.create 16;
+    by_kind = Hashtbl.create 16;
+    total = 0;
+    predicted = 0;
+    stats_served = 0;
+    errors = 0;
+    started_ns = Clock.now_ns () }
+
+let shutdown t = Engine.shutdown t.engine
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bump tbl key =
+  Hashtbl.replace tbl key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* ----- responses ----- *)
+
+(* Wire error kinds are the Err.t taxonomy plus two serving-layer
+   kinds: "bad_request" (the line is not a valid request object) and
+   "internal" (a bug's backstop — the loop must survive anything). *)
+let error_response t ~id ~kind ?pos msg =
+  locked t (fun () ->
+      t.errors <- t.errors + 1;
+      bump t.by_kind kind);
+  Json.Obj
+    [ "id", id;
+      "error",
+      Json.Obj
+        ([ "kind", Json.Str kind; "msg", Json.Str msg ]
+         @ match pos with Some p -> [ "pos", Json.Int p ] | None -> []) ]
+
+let err_response t ~id (e : Err.t) =
+  error_response t ~id ~kind:(Err.kind_name e.Err.kind) ?pos:e.Err.pos
+    e.Err.msg
+
+let stats_json t =
+  let hits, misses = Engine.memo_stats t.engine in
+  let lookups = hits + misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else float_of_int hits /. float_of_int lookups
+  in
+  let sorted tbl =
+    Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) tbl []
+    |> List.sort compare
+  in
+  let q p = Clock.ns_to_us (int_of_float (Obs.Histogram.quantile t.latency p)) in
+  locked t (fun () ->
+      Json.Obj
+        [ "uptime_s",
+          Json.Float (Clock.ns_to_s (Clock.now_ns () - t.started_ns));
+          "workers", Json.Int (Engine.size t.engine);
+          "requests",
+          Json.Obj
+            [ "total", Json.Int t.total;
+              "predicted", Json.Int t.predicted;
+              "stats", Json.Int t.stats_served;
+              "by_arch", Json.Obj (sorted t.by_arch) ];
+          "errors",
+          Json.Obj
+            [ "total", Json.Int t.errors;
+              "by_kind", Json.Obj (sorted t.by_kind) ];
+          "cache",
+          Json.Obj
+            [ "hits", Json.Int hits;
+              "misses", Json.Int misses;
+              "hit_rate", Json.Float hit_rate ];
+          "latency_us",
+          Json.Obj
+            [ "count", Json.Int (Obs.Histogram.count t.latency);
+              "mean", Json.Float (Clock.ns_to_us
+                                    (int_of_float
+                                       (Obs.Histogram.mean_ns t.latency)));
+              "p50", Json.Float (q 0.50);
+              "p95", Json.Float (q 0.95);
+              "p99", Json.Float (q 0.99) ];
+          (* global span/counter registry: attributes time to the
+             model components (model.predec, model.dec, model.ports,
+             model.precedence) and the engine *)
+          "process", Obs.snapshot () ])
+
+(* ----- request handling ----- *)
+
+let mode_of_string = function
+  | "loop" -> Ok `Loop
+  | "unroll" -> Ok `Unrolled
+  | "auto" -> Ok `Auto
+  | m ->
+    Error
+      (Err.v Err.Unknown_mode
+         (Printf.sprintf "unknown mode: %s (expected loop|unroll|auto)" m))
+
+let block_of_request cfg ~hex ~asm =
+  match hex, asm with
+  | Some h, _ ->
+    Result.bind (Hex.decode h) (fun code ->
+        match Block.of_bytes cfg code with
+        | b -> Ok b
+        | exception Decode.Decode_error (m, off) ->
+          Error (Err.v ~pos:off Err.Encode_error ("cannot decode: " ^ m))
+        | exception Facile_db.Db.Unsupported m ->
+          Error (Err.v Err.Encode_error ("unsupported instruction: " ^ m))
+        | exception Failure m -> Error (Err.v Err.Encode_error m))
+  | None, Some a ->
+    (match Asm.parse_block a with
+     | Error m -> Error (Err.v Err.Parse_error m)
+     | Ok insts ->
+       (match Block.of_instructions cfg insts with
+        | b -> Ok b
+        | exception Encode.Unencodable m ->
+          Error (Err.v Err.Encode_error ("cannot encode: " ^ m))
+        | exception Facile_db.Db.Unsupported m ->
+          Error (Err.v Err.Encode_error ("unsupported instruction: " ^ m))
+        | exception Failure m -> Error (Err.v Err.Encode_error m)))
+  | None, None -> assert false
+
+let handle_request t (req : Json.t) : Json.t =
+  let id = Option.value ~default:Json.Null (Json.member "id" req) in
+  match req with
+  | Json.Obj _ when Json.member "cmd" req = Some (Json.Str "stats") ->
+    locked t (fun () -> t.stats_served <- t.stats_served + 1);
+    Json.Obj [ "id", id; "stats", stats_json t ]
+  | Json.Obj _ when Json.member "cmd" req <> None ->
+    error_response t ~id ~kind:"bad_request"
+      (Printf.sprintf "unknown cmd %s (expected \"stats\")"
+         (Json.to_string (Option.get (Json.member "cmd" req))))
+  | Json.Obj _ ->
+    let field name =
+      match Json.member name req with
+      | Some (Json.Str s) -> Ok (Some s)
+      | Some _ ->
+        Error
+          (Printf.sprintf "field %S must be a string" name)
+      | None -> Ok None
+    in
+    (match field "arch", field "mode", field "hex", field "asm" with
+     | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _
+     | _, _, _, Error m ->
+       error_response t ~id ~kind:"bad_request" m
+     | Ok _, Ok _, Ok None, Ok None ->
+       error_response t ~id ~kind:"bad_request"
+         "request needs a \"hex\" or \"asm\" field"
+     | Ok arch, Ok mode, Ok hex, Ok asm ->
+       let arch = Option.value ~default:"SKL" arch in
+       let mode = Option.value ~default:"auto" mode in
+       let result =
+         match Config.of_abbrev arch with
+         | None ->
+           Error
+             (Err.v Err.Unknown_arch ("unknown microarchitecture: " ^ arch))
+         | Some cfg ->
+           Result.bind (mode_of_string mode) (fun mode ->
+               Result.bind (block_of_request cfg ~hex ~asm) (fun block ->
+                   Ok (cfg, Engine.predict t.engine ~mode block)))
+       in
+       (match result with
+        | Error e -> err_response t ~id e
+        | Ok (cfg, p) ->
+          locked t (fun () ->
+              t.predicted <- t.predicted + 1;
+              bump t.by_arch cfg.Config.abbrev);
+          (match Model.prediction_to_json p with
+           | Json.Obj fields -> Json.Obj (("id", id) :: fields)
+           | other -> Json.Obj [ "id", id; "prediction", other ])))
+  | _ ->
+    error_response t ~id:Json.Null ~kind:"bad_request"
+      "request must be a JSON object"
+
+(* [handle_line] never raises: whatever arrives on the wire, the
+   caller gets exactly one JSON response object back. *)
+let handle_line t line : Json.t =
+  Obs.timed t.latency @@ fun () ->
+  locked t (fun () -> t.total <- t.total + 1);
+  match Json.parse line with
+  | Error m -> error_response t ~id:Json.Null ~kind:"bad_request" m
+  | Ok req ->
+    (match handle_request t req with
+     | resp -> resp
+     | exception e ->
+       error_response t
+         ~id:(Option.value ~default:Json.Null (Json.member "id" req))
+         ~kind:"internal" (Printexc.to_string e))
+
+(* Blocking NDJSON loop: read request lines from [ic] until EOF,
+   answer each on [oc].  Blank lines are ignored so interactive use
+   with an occasional empty return works. *)
+let run t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | line ->
+      if String.trim line <> "" then begin
+        output_string oc (Json.to_string (handle_line t line));
+        output_char oc '\n';
+        flush oc
+      end;
+      loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()

@@ -1,0 +1,44 @@
+(** Long-running NDJSON prediction service on top of {!Engine}.
+
+    Wire protocol (one JSON object per line):
+    {v
+    -> {"id":1,"arch":"SKL","mode":"auto","hex":"4801d8"}
+    <- {"id":1,"cycles":..,"bottlenecks":[..],"values":{..},"fe_path":..}
+    -> {"id":2,"asm":"add rax, rbx"}
+    <- {"id":2,"cycles":..,...}
+    -> {"id":3,"hex":"zz"}
+    <- {"id":3,"error":{"kind":"bad_hex","msg":..,"pos":0}}
+    -> {"cmd":"stats"}
+    <- {"id":null,"stats":{"requests":..,"errors":..,"cache":..,
+                           "latency_us":..,"process":..}}
+    v}
+
+    [arch] defaults to "SKL", [mode] to "auto"; [id] is echoed
+    verbatim (any JSON value, default null).  Error kinds are the
+    {!Facile_x86.Err.kind} names plus ["bad_request"] and
+    ["internal"].  The loop never dies on malformed input; it ends
+    only at EOF. *)
+
+type t
+
+(** [create ?workers ?memoize ()] starts the service state, including
+    its engine pool (see {!Engine.create}). *)
+val create : ?workers:int -> ?memoize:bool -> unit -> t
+
+(** Join the engine's worker domains. *)
+val shutdown : t -> unit
+
+(** [handle_line t line] processes one request line and returns the
+    response object. Never raises. *)
+val handle_line : t -> string -> Facile_obs.Json.t
+
+(** The service-level statistics snapshot served for
+    [{"cmd":"stats"}]: request counts (total/predicted/per-arch),
+    error counts by kind, cache hit rate, p50/p95/p99 request latency,
+    and the global span registry attributing time to model
+    components. *)
+val stats_json : t -> Facile_obs.Json.t
+
+(** [run t ic oc] — blocking NDJSON request/response loop until EOF on
+    [ic]. *)
+val run : t -> in_channel -> out_channel -> unit

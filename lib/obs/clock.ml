@@ -1,0 +1,7 @@
+(* Monotonic time in integer nanoseconds (see obs_clock_stubs.c). *)
+
+external now_ns : unit -> int = "facile_obs_monotonic_ns" [@@noalloc]
+
+let ns_to_us ns = float_of_int ns /. 1e3
+let ns_to_ms ns = float_of_int ns /. 1e6
+let ns_to_s ns = float_of_int ns /. 1e9

@@ -1,0 +1,14 @@
+/* Monotonic clock for span timing.  CLOCK_MONOTONIC never jumps on
+   NTP adjustments, unlike gettimeofday, so latency histograms stay
+   sane on long-running servers.  Nanoseconds fit an OCaml immediate
+   int (63 bits ~ 292 years), so the call is allocation-free. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value facile_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,42 @@
+(* Typed error taxonomy for every user-facing input path.  The CLI
+   maps each kind to a distinct exit code and `facile serve` maps it
+   to the wire `error.kind` field, so scripts and clients can branch
+   on the failure class instead of grepping message text. *)
+
+type kind =
+  | Bad_hex       (* input is not valid hexadecimal machine code *)
+  | Parse_error   (* assembly text does not parse *)
+  | Unknown_arch  (* microarchitecture abbreviation not recognised *)
+  | Unknown_mode  (* throughput notion not loop/unroll/auto *)
+  | Encode_error  (* bytes <-> instruction translation failed *)
+
+type t = { kind : kind; msg : string; pos : int option }
+
+let v ?pos kind msg = { kind; msg; pos }
+
+let all_kinds = [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error ]
+
+(* stable snake_case names: these are wire protocol, not display text *)
+let kind_name = function
+  | Bad_hex -> "bad_hex"
+  | Parse_error -> "parse_error"
+  | Unknown_arch -> "unknown_arch"
+  | Unknown_mode -> "unknown_mode"
+  | Encode_error -> "encode_error"
+
+let kind_of_name s =
+  List.find_opt (fun k -> kind_name k = s) all_kinds
+
+(* Distinct, stable exit codes.  0 success and 1 generic failure stay
+   untouched; cmdliner reserves 124/125 for CLI and internal errors. *)
+let exit_code = function
+  | Bad_hex -> 3
+  | Parse_error -> 4
+  | Unknown_arch -> 5
+  | Unknown_mode -> 6
+  | Encode_error -> 7
+
+let to_string e =
+  match e.pos with
+  | Some p -> Printf.sprintf "%s at byte %d (%s)" e.msg p (kind_name e.kind)
+  | None -> Printf.sprintf "%s (%s)" e.msg (kind_name e.kind)

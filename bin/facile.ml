@@ -147,10 +147,31 @@ let file_arg =
   let doc = "Input file (defaults to stdin)." in
   Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
 
+let max_input_arg =
+  let doc =
+    "Reject inputs larger than $(docv) bytes with a typed too_large \
+     error (exit code 8). 0 disables the limit."
+  in
+  Arg.(value & opt int 0 & info [ "max-input-bytes" ] ~docv:"BYTES" ~doc)
+
+let check_input_size limit text =
+  if limit > 0 && String.length text > limit then
+    Error
+      (Err.v Err.Too_large
+         (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+            (String.length text) limit))
+  else Ok text
+
 let predict_cmd =
-  let run arch mode hex json file =
+  let run arch mode hex json max_input file =
     run_command arch (fun cfg ->
-        let* block = load_block cfg ~hex ~file in
+        let* text = check_input_size max_input (read_input file) in
+        let* block =
+          if hex then
+            let* code = Hex.decode text in
+            decode_block cfg code
+          else parse_asm_block cfg text
+        in
         let* mode = mode_of_block block mode in
         if json then
           print_endline
@@ -163,7 +184,8 @@ let predict_cmd =
         Ok ())
   in
   Cmd.v (Cmd.info "predict" ~doc:"Predict basic-block throughput.")
-    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ json_arg $ file_arg)
+    Term.(const run $ arch_arg $ mode_arg $ hex_arg $ json_arg
+          $ max_input_arg $ file_arg)
 
 (* ----- explain ----- *)
 
@@ -408,18 +430,75 @@ let batch_cmd =
 (* ----- serve: long-running NDJSON prediction service ----- *)
 
 let serve_cmd =
-  let run jobs no_memo =
+  let run jobs no_memo deadline_ms no_deadline queue_cap cache_cap
+      max_input_bytes max_insts =
     (match jobs with
      | Some n when n < 1 ->
        failwith (Printf.sprintf "--jobs must be at least 1, got %d" n)
      | _ -> ());
+    if deadline_ms < 0 then
+      failwith (Printf.sprintf "--deadline-ms must be >= 0, got %d" deadline_ms);
+    if queue_cap < 1 then
+      failwith (Printf.sprintf "--queue must be at least 1, got %d" queue_cap);
+    if cache_cap < 1 then
+      failwith (Printf.sprintf "--cache-cap must be at least 1, got %d" cache_cap);
+    if max_input_bytes < 1 then
+      failwith
+        (Printf.sprintf "--max-input-bytes must be at least 1, got %d"
+           max_input_bytes);
+    if max_insts < 1 then
+      failwith (Printf.sprintf "--max-insts must be at least 1, got %d" max_insts);
+    (* deterministic fault injection for the chaos harness: a no-op
+       unless FACILE_FAULT is set *)
+    (try Facile_engine.Fault.configure_from_env ()
+     with Invalid_argument m -> failwith m);
+    let limits =
+      { Facile_engine.Serve.default_limits with
+        Facile_engine.Serve.max_input_bytes; max_insts }
+    in
     let t =
-      Facile_engine.Serve.create ?workers:jobs ~memoize:(not no_memo) ()
+      Facile_engine.Serve.create ?workers:jobs ~memoize:(not no_memo)
+        ?deadline_ms:(if no_deadline then None else Some deadline_ms)
+        ~queue_cap ~cache_cap ~limits ()
     in
     Fun.protect
       ~finally:(fun () -> Facile_engine.Serve.shutdown t)
       (fun () -> Facile_engine.Serve.run t stdin stdout);
     0
+  in
+  let deadline_arg =
+    let doc =
+      "Per-request wall-clock deadline in milliseconds; requests over \
+       budget answer a typed timeout error. 0 means an already-spent \
+       budget (every predict request times out — useful for drills)."
+    in
+    Arg.(value & opt int 2000 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let no_deadline_arg =
+    let doc = "Disable the per-request deadline." in
+    Arg.(value & flag & info [ "no-deadline" ] ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Request queue capacity; when full, new requests are shed with a \
+       retry_after error instead of growing memory."
+    in
+    Arg.(value & opt int 128 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_cap_arg =
+    let doc = "Memoization cache capacity in entries (bounded LRU)." in
+    Arg.(value & opt int Facile_engine.Engine.default_cache_cap
+         & info [ "cache-cap" ] ~docv:"N" ~doc)
+  in
+  let serve_max_input_arg =
+    let doc = "Per-request hex/asm payload limit in bytes (too_large)." in
+    Arg.(value & opt int Facile_engine.Serve.default_limits.Facile_engine.Serve.max_input_bytes
+         & info [ "max-input-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let max_insts_arg =
+    let doc = "Per-request instruction-count limit (too_large)." in
+    Arg.(value & opt int Facile_engine.Serve.default_limits.Facile_engine.Serve.max_insts
+         & info [ "max-insts" ] ~docv:"N" ~doc)
   in
   let man =
     [ `S Manpage.s_description;
@@ -436,16 +515,30 @@ let serve_cmd =
          {\"id\":..,\"error\":{\"kind\":..,\"msg\":..}}.";
       `P
         "{\"cmd\":\"stats\"} returns request counts, error counts by \
-         kind, cache hit rate, p50/p95/p99 latency, and per-component \
-         time attribution. Malformed input yields a typed error \
-         response; the loop ends only at end-of-file." ]
+         kind, cache hits/misses/evictions, queue shed counts, \
+         supervisor respawns/degraded state, fault-injection \
+         counters, p50/p95/p99 latency, and per-component time \
+         attribution. Malformed input yields a typed error response.";
+      `P
+        "Robustness: decode+predict run on a supervised worker domain \
+         (crashes answer a typed internal error, the worker is \
+         respawned with backoff behind a circuit breaker); requests \
+         over the --deadline-ms budget answer timeout; oversized \
+         inputs answer too_large; when the bounded request queue is \
+         full, requests are shed with retry_after. EOF, SIGINT, \
+         SIGTERM, and a closed client pipe all drain in-flight work, \
+         flush a final stats snapshot to stderr, and exit 0. Set \
+         FACILE_FAULT=point:rate:seed[:limit] (points: decode, \
+         predict, respond) to inject deterministic faults." ]
   in
   Cmd.v
     (Cmd.info "serve" ~man
-       ~doc:"Serve predictions over an NDJSON request/response loop.")
-    Term.(const (fun jobs no_memo -> try run jobs no_memo with Failure m ->
-             prerr_endline ("error: " ^ m); 1)
-          $ jobs_arg $ no_memo_arg)
+       ~doc:"Serve predictions over a fault-tolerant NDJSON loop.")
+    Term.(const (fun jobs no_memo dl nodl q cc mib mi ->
+             try run jobs no_memo dl nodl q cc mib mi with Failure m ->
+               prerr_endline ("error: " ^ m); 1)
+          $ jobs_arg $ no_memo_arg $ deadline_arg $ no_deadline_arg
+          $ queue_arg $ cache_cap_arg $ serve_max_input_arg $ max_insts_arg)
 
 (* ----- simulate ----- *)
 

@@ -1,0 +1,60 @@
+(* Bounded multi-producer queue with explicit backpressure: [push]
+   never blocks — a full (or closed) queue refuses the item so the
+   producer can shed load instead of growing memory.  [pop] blocks
+   until an item arrives or the queue is closed and drained, which
+   doubles as the graceful-shutdown signal for consumers. *)
+
+type 'a t = {
+  cap : int;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create cap =
+  if cap < 1 then invalid_arg (Printf.sprintf "Bqueue.create: cap = %d" cap);
+  { cap; mu = Mutex.create (); not_empty = Condition.create ();
+    q = Queue.create (); closed = false }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mu;
+  n
+
+let push t x =
+  Mutex.lock t.mu;
+  let accepted =
+    if t.closed || Queue.length t.q >= t.cap then false
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.not_empty;
+      true
+    end
+  in
+  Mutex.unlock t.mu;
+  accepted
+
+let pop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.mu
+  done;
+  let item = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.mu;
+  item
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.mu
+
+let is_closed t =
+  Mutex.lock t.mu;
+  let c = t.closed in
+  Mutex.unlock t.mu;
+  c

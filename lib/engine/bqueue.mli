@@ -1,0 +1,24 @@
+(** Bounded queue with non-blocking producers (explicit backpressure)
+    and blocking consumers with a close/drain shutdown protocol. *)
+
+type 'a t
+
+(** @raise Invalid_argument if [cap < 1]. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** [push t x] is [false] — the caller must shed the item — when the
+    queue is full or closed. Never blocks. *)
+val push : 'a t -> 'a -> bool
+
+(** [pop t] blocks for the next item; [None] once the queue is closed
+    and drained. *)
+val pop : 'a t -> 'a option
+
+(** Refuse further pushes and wake every blocked consumer; already
+    queued items still drain. Idempotent. *)
+val close : 'a t -> unit
+
+val is_closed : 'a t -> bool

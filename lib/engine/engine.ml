@@ -21,9 +21,10 @@ type t = {
   mutable active : int; (* workers still inside the current batch *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
-  (* memoization of predict_batch *)
+  (* memoization of predict/predict_batch: bounded LRU so a serving
+     process under endless distinct traffic cannot grow without limit *)
   memoize : bool;
-  memo : (Config.arch * [ `Loop | `Unrolled ] * string, Model.prediction) Hashtbl.t;
+  memo : (Config.arch * [ `Loop | `Unrolled ] * string, Model.prediction) Lru.t;
   memo_mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -49,17 +50,21 @@ let rec worker_loop pool seen_epoch =
     worker_loop pool epoch
   end
 
-let create ?workers ?(memoize = true) () =
+let default_cache_cap = 65536
+
+let create ?workers ?(memoize = true) ?(cache_cap = default_cache_cap) () =
   let size =
     match workers with
     | None -> max 1 (Domain.recommended_domain_count ())
     | Some n when n >= 1 -> n
     | Some n -> invalid_arg (Printf.sprintf "Engine.create: workers = %d" n)
   in
+  if cache_cap < 1 then
+    invalid_arg (Printf.sprintf "Engine.create: cache_cap = %d" cache_cap);
   let pool =
     { size; mutex = Mutex.create (); have_work = Condition.create ();
       quiesced = Condition.create (); batch = None; epoch = 0; active = 0;
-      stop = false; domains = []; memoize; memo = Hashtbl.create 1024;
+      stop = false; domains = []; memoize; memo = Lru.create cache_cap;
       memo_mutex = Mutex.create (); hits = 0; misses = 0 }
   in
   pool.domains <-
@@ -158,12 +163,15 @@ let predict_span = Facile_obs.Obs.histogram "engine.predict"
    hit/miss accounting) with [predict_batch]. *)
 let predict pool ~mode b =
   Facile_obs.Obs.timed predict_span @@ fun () ->
+  (* fault-injection and deadline hook for the serving path; a no-op
+     unless FACILE_FAULT or a request deadline is armed *)
+  Fault.point "predict";
   let notion = notion_of_block mode b in
   if not pool.memoize then predict_one notion b
   else begin
     let key = (b.Block.cfg.Config.arch, notion, b.Block.bytes) in
     Mutex.lock pool.memo_mutex;
-    let cached = Hashtbl.find_opt pool.memo key in
+    let cached = Lru.find pool.memo key in
     (match cached with Some _ -> pool.hits <- pool.hits + 1 | None -> ());
     Mutex.unlock pool.memo_mutex;
     match cached with
@@ -172,7 +180,7 @@ let predict pool ~mode b =
       let p = predict_one notion b in
       Mutex.lock pool.memo_mutex;
       pool.misses <- pool.misses + 1;
-      Hashtbl.replace pool.memo key p;
+      Lru.add pool.memo key p;
       Mutex.unlock pool.memo_mutex;
       p
   end
@@ -194,7 +202,7 @@ let predict_batch pool ~mode blocks =
        each unseen key — all on the calling domain, so the parallel
        section below touches no shared table *)
     Mutex.lock pool.memo_mutex;
-    let cached = Array.map (Hashtbl.find_opt pool.memo) keys in
+    let cached = Array.map (Lru.find pool.memo) keys in
     Mutex.unlock pool.memo_mutex;
     let first = Hashtbl.create 64 in
     let todo = ref [] in
@@ -215,7 +223,7 @@ let predict_batch pool ~mode blocks =
     Mutex.lock pool.memo_mutex;
     Array.iteri
       (fun j i ->
-        Hashtbl.replace pool.memo keys.(i) computed.(j);
+        Lru.add pool.memo keys.(i) computed.(j);
         Hashtbl.replace fresh keys.(i) computed.(j))
       todo;
     pool.misses <- pool.misses + Array.length todo;
@@ -233,5 +241,23 @@ let predict_batch pool ~mode blocks =
 let memo_stats pool =
   Mutex.lock pool.memo_mutex;
   let s = (pool.hits, pool.misses) in
+  Mutex.unlock pool.memo_mutex;
+  s
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let cache_stats pool =
+  Mutex.lock pool.memo_mutex;
+  let s =
+    { hits = pool.hits; misses = pool.misses;
+      evictions = Lru.evictions pool.memo; entries = Lru.length pool.memo;
+      capacity = Lru.capacity pool.memo }
+  in
   Mutex.unlock pool.memo_mutex;
   s

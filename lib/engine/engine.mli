@@ -19,12 +19,17 @@ open Facile_core
 
 type t
 
-(** [create ?workers ?memoize ()] starts a pool. [workers] defaults to
-    [Domain.recommended_domain_count ()]; with [workers = 1] the pool
-    is purely sequential. [memoize] (default [true]) enables the
-    prediction cache of {!predict_batch}.
-    @raise Invalid_argument if [workers < 1]. *)
-val create : ?workers:int -> ?memoize:bool -> unit -> t
+(** [create ?workers ?memoize ?cache_cap ()] starts a pool. [workers]
+    defaults to [Domain.recommended_domain_count ()]; with
+    [workers = 1] the pool is purely sequential. [memoize] (default
+    [true]) enables the prediction cache of {!predict_batch} and
+    {!predict}; the cache is a bounded LRU holding at most [cache_cap]
+    entries (default 65536), so cache memory stays flat under endless
+    distinct traffic.
+    @raise Invalid_argument if [workers < 1] or [cache_cap < 1]. *)
+val create : ?workers:int -> ?memoize:bool -> ?cache_cap:int -> unit -> t
+
+val default_cache_cap : int
 
 (** Number of domains doing work for this pool, including the caller. *)
 val size : t -> int
@@ -36,6 +41,17 @@ val shutdown : t -> unit
 (** [with_pool ?workers ?memoize f] runs [f] on a fresh pool and
     shuts it down afterwards, also on exception. *)
 val with_pool : ?workers:int -> ?memoize:bool -> (t -> 'a) -> 'a
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries dropped by the LRU bound *)
+  entries : int;    (** currently cached *)
+  capacity : int;
+}
+
+(** Full memoization-cache accounting (see also {!memo_stats}). *)
+val cache_stats : t -> cache_stats
 
 (** [map t f xs] — [Array.map f xs], spread over the pool. [f] must be
     safe to call from any domain (in particular it must not touch

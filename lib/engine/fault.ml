@@ -1,0 +1,155 @@
+(* Deterministic fault injection and cooperative request deadlines.
+
+   Both are checked at named *points* in the request pipeline
+   ("decode", "predict", "respond"): [point p] first consults the
+   injection table and raises [Injected p] when the seeded PRNG fires,
+   then checks the active wall-clock deadline and raises
+   [Deadline_exceeded] when the budget is spent.  With no spec
+   configured and no deadline armed, [point] is two atomic loads.
+
+   The spec grammar (env var FACILE_FAULT or [configure]) is
+
+     point:rate:seed[:limit][,point:rate:seed[:limit]...]
+
+   e.g. "predict:0.05:42" injects at the predict point with
+   probability 0.05 from a splitmix64 stream seeded with 42, and
+   "predict:1:7:1" injects exactly once (limit 1) then never again.
+   Every injection increments a per-point counter, snapshotted by
+   [snapshot] so the serving layer can report each injected fault. *)
+
+exception Injected of string
+exception Deadline_exceeded
+
+type rule = {
+  rate : float;               (* injection probability per hit *)
+  mutable prng : int64;       (* splitmix64 state, mutated per hit *)
+  limit : int;                (* max injections; -1 = unlimited *)
+  mutable injected : int;     (* faults actually raised *)
+  mutable hits : int;         (* times the point was consulted *)
+}
+
+(* rules keyed by point name; a mutex serializes PRNG stepping so the
+   stream is deterministic even if two domains ever share a point *)
+let mu = Mutex.create ()
+let rules : (string, rule) Hashtbl.t = Hashtbl.create 8
+let armed = Atomic.make false (* fast-path gate: any rules configured? *)
+
+let clear () =
+  Mutex.lock mu;
+  Hashtbl.reset rules;
+  Atomic.set armed false;
+  Mutex.unlock mu
+
+(* splitmix64: tiny, seedable, good enough for Bernoulli draws *)
+let splitmix64 state =
+  let z = Int64.add state 0x9e3779b97f4a7c15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  (z, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let uniform rule =
+  let state, out = splitmix64 rule.prng in
+  rule.prng <- state;
+  (* 53 high bits -> [0,1) *)
+  Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0
+
+let parse_spec spec =
+  let parse_one s =
+    match String.split_on_char ':' (String.trim s) with
+    | point :: rate :: seed :: rest when point <> "" ->
+      let rate =
+        match float_of_string_opt rate with
+        | Some r when r >= 0.0 && r <= 1.0 -> r
+        | _ -> invalid_arg (Printf.sprintf "FACILE_FAULT: bad rate %S" rate)
+      in
+      let seed =
+        match Int64.of_string_opt seed with
+        | Some s -> s
+        | None -> invalid_arg (Printf.sprintf "FACILE_FAULT: bad seed %S" seed)
+      in
+      let limit =
+        match rest with
+        | [] -> -1
+        | [ l ] ->
+          (match int_of_string_opt l with
+           | Some n when n >= 0 -> n
+           | _ -> invalid_arg (Printf.sprintf "FACILE_FAULT: bad limit %S" l))
+        | _ -> invalid_arg ("FACILE_FAULT: too many fields in " ^ s)
+      in
+      (point, { rate; prng = seed; limit; injected = 0; hits = 0 })
+    | _ ->
+      invalid_arg
+        ("FACILE_FAULT: expected point:rate:seed[:limit], got " ^ s)
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> String.trim s <> "")
+  |> List.map parse_one
+
+let configure spec =
+  let parsed = parse_spec spec in
+  Mutex.lock mu;
+  Hashtbl.reset rules;
+  List.iter (fun (p, r) -> Hashtbl.replace rules p r) parsed;
+  Atomic.set armed (parsed <> []);
+  Mutex.unlock mu
+
+let configure_from_env () =
+  match Sys.getenv_opt "FACILE_FAULT" with
+  | None | Some "" -> ()
+  | Some spec -> configure spec
+
+(* ----- deadlines ----- *)
+
+(* Absolute monotonic deadline in ns; 0 = disarmed.  One request is in
+   flight at a time in the serving layer, so a single process-wide
+   atomic is sufficient and visible across the executor domain. *)
+let deadline_ns = Atomic.make 0
+
+let set_deadline = function
+  | None -> Atomic.set deadline_ns 0
+  | Some abs_ns -> Atomic.set deadline_ns (max 1 abs_ns)
+
+let check_deadline () =
+  let d = Atomic.get deadline_ns in
+  if d <> 0 && Facile_obs.Clock.now_ns () > d then raise Deadline_exceeded
+
+let with_deadline budget_ns f =
+  match budget_ns with
+  | None -> f ()
+  | Some b ->
+    set_deadline (Some (Facile_obs.Clock.now_ns () + b));
+    Fun.protect ~finally:(fun () -> set_deadline None) f
+
+(* ----- the hook ----- *)
+
+let inject p =
+  Mutex.lock mu;
+  let fire =
+    match Hashtbl.find_opt rules p with
+    | None -> false
+    | Some r ->
+      r.hits <- r.hits + 1;
+      if r.limit >= 0 && r.injected >= r.limit then false
+      else begin
+        let fire = r.rate >= 1.0 || uniform r < r.rate in
+        if fire then r.injected <- r.injected + 1;
+        fire
+      end
+  in
+  Mutex.unlock mu;
+  if fire then raise (Injected p)
+
+let point p =
+  if Atomic.get armed then inject p;
+  check_deadline ()
+
+let snapshot () =
+  Mutex.lock mu;
+  let s =
+    Hashtbl.fold (fun p r acc -> (p, (r.injected, r.hits)) :: acc) rules []
+    |> List.sort compare
+  in
+  Mutex.unlock mu;
+  s

@@ -1,0 +1,43 @@
+(** Deterministic fault injection and cooperative request deadlines.
+
+    The request pipeline calls {!point} at its named stages ("decode",
+    "predict", "respond").  When a fault spec is configured (env var
+    [FACILE_FAULT] or {!configure}) the point may raise {!Injected};
+    when a deadline is armed and the wall-clock budget is spent it
+    raises {!Deadline_exceeded}.  Unconfigured and disarmed, {!point}
+    costs two atomic loads.
+
+    Spec grammar: [point:rate:seed[:limit]], comma-separated.  The
+    PRNG stream is seeded, so a given spec injects at the same hook
+    hits in every run. *)
+
+exception Injected of string
+exception Deadline_exceeded
+
+(** Replace the active fault rules with [spec].
+    @raise Invalid_argument on a malformed spec. *)
+val configure : string -> unit
+
+(** [configure] from [FACILE_FAULT] if set and non-empty. *)
+val configure_from_env : unit -> unit
+
+(** Remove all fault rules (deadline state is untouched). *)
+val clear : unit -> unit
+
+(** Consult the injection table for point [p], then the deadline. *)
+val point : string -> unit
+
+(** Arm ([Some abs_ns], monotonic clock) or disarm ([None]) the
+    process-wide request deadline. *)
+val set_deadline : int option -> unit
+
+(** Raise {!Deadline_exceeded} if the armed deadline has passed. *)
+val check_deadline : unit -> unit
+
+(** [with_deadline (Some budget_ns) f] runs [f] with the deadline
+    armed [budget_ns] from now, disarming it afterwards (also on
+    exceptions). [None] runs [f] unguarded. *)
+val with_deadline : int option -> (unit -> 'a) -> 'a
+
+(** [(point, (injected, hits))] per configured rule, sorted. *)
+val snapshot : unit -> (string * (int * int)) list

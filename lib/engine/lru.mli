@@ -1,0 +1,25 @@
+(** Bounded LRU map with O(1) find/add and an eviction counter.
+
+    Not synchronized: callers that share an instance across domains
+    must hold their own lock (the engine memo cache does). *)
+
+type ('k, 'v) t
+
+(** [create cap] holds at most [cap] entries.
+    @raise Invalid_argument if [cap < 1]. *)
+val create : int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+(** Entries dropped to stay within capacity since [create]. *)
+val evictions : ('k, 'v) t -> int
+
+(** [find t k] returns the bound value and marks it most-recent. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] binds [k] to [v] as most-recent, evicting the
+    least-recent entry if the map is full and [k] is new. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val mem : ('k, 'v) t -> 'k -> bool

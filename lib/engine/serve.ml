@@ -1,10 +1,27 @@
 (* Long-running NDJSON prediction service on top of the engine: one
    JSON request object per line in, one JSON response object per line
-   out.  The engine pool and its memo cache persist across requests,
-   so a traffic-serving deployment pays decode+predict once per
-   distinct block instead of a process start per request.  Malformed
-   input of any shape produces a typed error response, never a crash:
-   the loop only ends at EOF. *)
+   out.  The engine pool and its bounded LRU memo cache persist across
+   requests, so a traffic-serving deployment pays decode+predict once
+   per distinct block instead of a process start per request.
+
+   The loop is built to degrade gracefully rather than die:
+
+   - the heavy per-request work (decode + predict) runs on a
+     supervised executor domain ({!Supervise}); a crash there — real
+     bug or injected fault — yields a typed "internal" error for that
+     request only, and the executor is respawned with exponential
+     backoff behind a circuit breaker;
+   - each request runs under an optional wall-clock deadline
+     ({!Fault.with_deadline}) and answers "timeout" when the budget is
+     spent;
+   - a bounded request queue ({!Bqueue}) decouples reading from
+     handling; when it fills, new lines are shed with a "retry_after"
+     error instead of growing memory;
+   - oversized lines, inputs, and blocks answer "too_large";
+   - EOF, SIGINT, and SIGTERM all drain in-flight work, flush a final
+     stats snapshot to stderr, and return normally; a client that
+     closes its end (EPIPE) is counted and triggers the same clean
+     shutdown instead of killing the process. *)
 
 open Facile_x86
 open Facile_uarch
@@ -13,8 +30,24 @@ module Json = Facile_obs.Json
 module Obs = Facile_obs.Obs
 module Clock = Facile_obs.Clock
 
+type limits = {
+  max_line_bytes : int;
+  max_input_bytes : int;
+  max_insts : int;
+}
+
+let default_limits =
+  { max_line_bytes = 1 lsl 20; (* 1 MiB: an adversarial line cannot OOM us *)
+    max_input_bytes = 65536;
+    max_insts = 4096 }
+
 type t = {
   engine : Engine.t;
+  sup : Supervise.t;
+  limits : limits;
+  deadline_ns : int option;            (* per-request budget; None = off *)
+  queue_cap : int;
+  retry_after_ms : int;
   latency : Obs.Histogram.t;  (* per-line handling latency, ns *)
   mu : Mutex.t;
   by_arch : (string, int) Hashtbl.t;   (* successful predictions per arch *)
@@ -23,11 +56,29 @@ type t = {
   mutable predicted : int;             (* successful predictions *)
   mutable stats_served : int;
   mutable errors : int;
+  mutable shed : int;                  (* lines refused by the full queue *)
+  mutable epipe : int;                 (* writes that found the pipe closed *)
   started_ns : int;
+  stop : bool Atomic.t;                (* graceful-shutdown request *)
 }
 
-let create ?workers ?memoize () =
-  { engine = Engine.create ?workers ?memoize ();
+let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
+    ?(limits = default_limits) ?(supervisor = Supervise.default_config) () =
+  if queue_cap < 1 then
+    invalid_arg (Printf.sprintf "Serve.create: queue_cap = %d" queue_cap);
+  if limits.max_line_bytes < 1 || limits.max_input_bytes < 1
+     || limits.max_insts < 1
+  then invalid_arg "Serve.create: limits must be positive";
+  { engine = Engine.create ?workers ?memoize ?cache_cap ();
+    sup = Supervise.create ~config:supervisor ();
+    limits;
+    deadline_ns =
+      Option.map (fun ms ->
+          if ms < 0 then invalid_arg "Serve.create: deadline_ms < 0"
+          else ms * 1_000_000)
+        deadline_ms;
+    queue_cap;
+    retry_after_ms = 50;
     latency = Obs.Histogram.create ();
     mu = Mutex.create ();
     by_arch = Hashtbl.create 16;
@@ -36,9 +87,16 @@ let create ?workers ?memoize () =
     predicted = 0;
     stats_served = 0;
     errors = 0;
-    started_ns = Clock.now_ns () }
+    shed = 0;
+    epipe = 0;
+    started_ns = Clock.now_ns ();
+    stop = Atomic.make false }
 
-let shutdown t = Engine.shutdown t.engine
+let shutdown t =
+  Supervise.shutdown t.sup;
+  Engine.shutdown t.engine
+
+let request_shutdown t = Atomic.set t.stop true
 
 let locked t f =
   Mutex.lock t.mu;
@@ -50,10 +108,11 @@ let bump tbl key =
 
 (* ----- responses ----- *)
 
-(* Wire error kinds are the Err.t taxonomy plus two serving-layer
-   kinds: "bad_request" (the line is not a valid request object) and
-   "internal" (a bug's backstop — the loop must survive anything). *)
-let error_response t ~id ~kind ?pos msg =
+(* Wire error kinds are the Err.t taxonomy plus three serving-layer
+   kinds: "bad_request" (the line is not a valid request object),
+   "retry_after" (the request queue is full; shed), and "internal"
+   (the supervised executor crashed — a bug or an injected fault). *)
+let error_response t ~id ~kind ?pos ?(extra = []) msg =
   locked t (fun () ->
       t.errors <- t.errors + 1;
       bump t.by_kind kind);
@@ -62,19 +121,27 @@ let error_response t ~id ~kind ?pos msg =
       "error",
       Json.Obj
         ([ "kind", Json.Str kind; "msg", Json.Str msg ]
-         @ match pos with Some p -> [ "pos", Json.Int p ] | None -> []) ]
+         @ (match pos with Some p -> [ "pos", Json.Int p ] | None -> [])
+         @ extra) ]
 
 let err_response t ~id (e : Err.t) =
   error_response t ~id ~kind:(Err.kind_name e.Err.kind) ?pos:e.Err.pos
     e.Err.msg
 
+let shed_response t ~id =
+  locked t (fun () -> t.shed <- t.shed + 1);
+  error_response t ~id ~kind:"retry_after"
+    ~extra:[ "retry_after_ms", Json.Int t.retry_after_ms ]
+    (Printf.sprintf "request queue full (capacity %d)" t.queue_cap)
+
 let stats_json t =
-  let hits, misses = Engine.memo_stats t.engine in
-  let lookups = hits + misses in
+  let c = Engine.cache_stats t.engine in
+  let lookups = c.Engine.hits + c.Engine.misses in
   let hit_rate =
     if lookups = 0 then 0.0
-    else float_of_int hits /. float_of_int lookups
+    else float_of_int c.Engine.hits /. float_of_int lookups
   in
+  let sup = Supervise.stats t.sup in
   let sorted tbl =
     Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) tbl []
     |> List.sort compare
@@ -97,9 +164,42 @@ let stats_json t =
               "by_kind", Json.Obj (sorted t.by_kind) ];
           "cache",
           Json.Obj
-            [ "hits", Json.Int hits;
-              "misses", Json.Int misses;
-              "hit_rate", Json.Float hit_rate ];
+            [ "hits", Json.Int c.Engine.hits;
+              "misses", Json.Int c.Engine.misses;
+              "hit_rate", Json.Float hit_rate;
+              "evictions", Json.Int c.Engine.evictions;
+              "entries", Json.Int c.Engine.entries;
+              "capacity", Json.Int c.Engine.capacity ];
+          "queue",
+          Json.Obj
+            [ "capacity", Json.Int t.queue_cap; "shed", Json.Int t.shed ];
+          "supervisor",
+          Json.Obj
+            [ "respawns", Json.Int sup.Supervise.respawns;
+              "crashes", Json.Int sup.Supervise.crashes;
+              "degraded", Json.Bool sup.Supervise.degraded;
+              "degraded_transitions",
+              Json.Int sup.Supervise.degraded_transitions;
+              "inline_runs", Json.Int sup.Supervise.inline_runs ];
+          "faults",
+          Json.Obj
+            (List.map
+               (fun (p, (injected, hits)) ->
+                 ( p,
+                   Json.Obj
+                     [ "injected", Json.Int injected;
+                       "hits", Json.Int hits ] ))
+               (Fault.snapshot ()));
+          "io", Json.Obj [ "epipe", Json.Int t.epipe ];
+          "limits",
+          Json.Obj
+            [ "max_line_bytes", Json.Int t.limits.max_line_bytes;
+              "max_input_bytes", Json.Int t.limits.max_input_bytes;
+              "max_insts", Json.Int t.limits.max_insts;
+              "deadline_ms",
+              (match t.deadline_ns with
+               | None -> Json.Null
+               | Some ns -> Json.Int (ns / 1_000_000)) ];
           "latency_us",
           Json.Obj
             [ "count", Json.Int (Obs.Histogram.count t.latency);
@@ -126,6 +226,7 @@ let mode_of_string = function
          (Printf.sprintf "unknown mode: %s (expected loop|unroll|auto)" m))
 
 let block_of_request cfg ~hex ~asm =
+  Fault.point "decode";
   match hex, asm with
   | Some h, _ ->
     Result.bind (Hex.decode h) (fun code ->
@@ -148,6 +249,30 @@ let block_of_request cfg ~hex ~asm =
           Error (Err.v Err.Encode_error ("unsupported instruction: " ^ m))
         | exception Failure m -> Error (Err.v Err.Encode_error m)))
   | None, None -> assert false
+
+(* The heavy half of a request: decode + size check + predict.  Runs
+   on the supervised executor domain under the request deadline;
+   injected faults and real bugs raise and kill the executor, a spent
+   deadline surfaces as [`Timeout]. *)
+let compute t cfg ~mode ~hex ~asm =
+  match
+    Fault.with_deadline t.deadline_ns (fun () ->
+        Result.bind (block_of_request cfg ~hex ~asm) (fun block ->
+            if List.length block.Block.entries > t.limits.max_insts then
+              Error
+                (Err.v Err.Too_large
+                   (Printf.sprintf
+                      "block has %d instructions, limit is %d"
+                      (List.length block.Block.entries) t.limits.max_insts))
+            else Ok (Engine.predict t.engine ~mode block)))
+  with
+  | r -> `Done r
+  | exception Fault.Deadline_exceeded -> `Timeout
+
+let timeout_err t =
+  Err.v Err.Timeout
+    (Printf.sprintf "request exceeded its %dms deadline"
+       (match t.deadline_ns with Some ns -> ns / 1_000_000 | None -> 0))
 
 let handle_request t (req : Json.t) : Json.t =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in
@@ -178,25 +303,41 @@ let handle_request t (req : Json.t) : Json.t =
      | Ok arch, Ok mode, Ok hex, Ok asm ->
        let arch = Option.value ~default:"SKL" arch in
        let mode = Option.value ~default:"auto" mode in
-       let result =
-         match Config.of_abbrev arch with
-         | None ->
-           Error
-             (Err.v Err.Unknown_arch ("unknown microarchitecture: " ^ arch))
-         | Some cfg ->
-           Result.bind (mode_of_string mode) (fun mode ->
-               Result.bind (block_of_request cfg ~hex ~asm) (fun block ->
-                   Ok (cfg, Engine.predict t.engine ~mode block)))
+       let input_bytes =
+         String.length (Option.value ~default:"" hex)
+         + String.length (Option.value ~default:"" asm)
        in
-       (match result with
-        | Error e -> err_response t ~id e
-        | Ok (cfg, p) ->
-          locked t (fun () ->
-              t.predicted <- t.predicted + 1;
-              bump t.by_arch cfg.Config.abbrev);
-          (match Model.prediction_to_json p with
-           | Json.Obj fields -> Json.Obj (("id", id) :: fields)
-           | other -> Json.Obj [ "id", id; "prediction", other ])))
+       if input_bytes > t.limits.max_input_bytes then
+         err_response t ~id
+           (Err.v Err.Too_large
+              (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+                 input_bytes t.limits.max_input_bytes))
+       else begin
+         match Config.of_abbrev arch, mode_of_string mode with
+         | None, _ ->
+           err_response t ~id
+             (Err.v Err.Unknown_arch ("unknown microarchitecture: " ^ arch))
+         | Some _, Error e -> err_response t ~id e
+         | Some cfg, Ok mode ->
+           (match
+              Supervise.run t.sup (fun () -> compute t cfg ~mode ~hex ~asm)
+            with
+            | Ok (`Done (Error e)) -> err_response t ~id e
+            | Ok `Timeout -> err_response t ~id (timeout_err t)
+            | Error (Fault.Injected p) ->
+              error_response t ~id ~kind:"internal"
+                (Printf.sprintf
+                   "injected fault at %s killed the worker (respawning)" p)
+            | Error e ->
+              error_response t ~id ~kind:"internal" (Printexc.to_string e)
+            | Ok (`Done (Ok p)) ->
+              locked t (fun () ->
+                  t.predicted <- t.predicted + 1;
+                  bump t.by_arch cfg.Config.abbrev);
+              (match Model.prediction_to_json p with
+               | Json.Obj fields -> Json.Obj (("id", id) :: fields)
+               | other -> Json.Obj [ "id", id; "prediction", other ]))
+       end)
   | _ ->
     error_response t ~id:Json.Null ~kind:"bad_request"
       "request must be a JSON object"
@@ -206,29 +347,138 @@ let handle_request t (req : Json.t) : Json.t =
 let handle_line t line : Json.t =
   Obs.timed t.latency @@ fun () ->
   locked t (fun () -> t.total <- t.total + 1);
-  match Json.parse line with
-  | Error m -> error_response t ~id:Json.Null ~kind:"bad_request" m
-  | Ok req ->
-    (match handle_request t req with
-     | resp -> resp
-     | exception e ->
-       error_response t
-         ~id:(Option.value ~default:Json.Null (Json.member "id" req))
-         ~kind:"internal" (Printexc.to_string e))
-
-(* Blocking NDJSON loop: read request lines from [ic] until EOF,
-   answer each on [oc].  Blank lines are ignored so interactive use
-   with an occasional empty return works. *)
-let run t ic oc =
-  let rec loop () =
-    match input_line ic with
-    | line ->
-      if String.trim line <> "" then begin
-        output_string oc (Json.to_string (handle_line t line));
-        output_char oc '\n';
-        flush oc
-      end;
-      loop ()
-    | exception End_of_file -> ()
+  let resp =
+    if String.length line > t.limits.max_line_bytes then
+      err_response t ~id:Json.Null
+        (Err.v Err.Too_large
+           (Printf.sprintf "request line of %d bytes exceeds the %d-byte limit"
+              (String.length line) t.limits.max_line_bytes))
+    else
+      match Json.parse line with
+      | Error m -> error_response t ~id:Json.Null ~kind:"bad_request" m
+      | Ok req ->
+        (match handle_request t req with
+         | resp -> resp
+         | exception e ->
+           error_response t
+             ~id:(Option.value ~default:Json.Null (Json.member "id" req))
+             ~kind:"internal" (Printexc.to_string e))
   in
-  loop ()
+  (* the respond fault point models a failure while producing the
+     answer: the response is replaced by a typed internal error, the
+     loop survives *)
+  match Fault.point "respond" with
+  | () -> resp
+  | exception Fault.Injected _ ->
+    error_response t
+      ~id:(Option.value ~default:Json.Null (Json.member "id" resp))
+      ~kind:"internal" "injected fault at respond"
+  | exception Fault.Deadline_exceeded -> resp
+
+(* ----- the serving loop ----- *)
+
+let install_signal_handlers t =
+  let quiet f = try f () with Invalid_argument _ | Sys_error _ -> () in
+  (* a closed client pipe must surface as Sys_error on write (counted,
+     clean shutdown), not as a process-killing SIGPIPE *)
+  quiet (fun () -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore);
+  List.iter
+    (fun s ->
+      quiet (fun () ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))))
+    [ Sys.sigint; Sys.sigterm ]
+
+(* Pipelined NDJSON loop: a reader thread feeds the bounded request
+   queue (shedding with "retry_after" when it is full) while the
+   calling thread drains it through the supervised handler.  Ends —
+   after draining everything queued — on EOF, SIGINT/SIGTERM, or a
+   client that closed the pipe, flushing a final stats snapshot to
+   stderr. *)
+let run ?(signals = true) t ic oc =
+  if signals then install_signal_handlers t;
+  let q = Bqueue.create t.queue_cap in
+  let omu = Mutex.create () in
+  let write_json j =
+    Mutex.lock omu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock omu) @@ fun () ->
+    try
+      output_string oc (Json.to_string j);
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ ->
+      (* EPIPE: the client went away; count it and shut down cleanly *)
+      locked t (fun () -> t.epipe <- t.epipe + 1);
+      Atomic.set t.stop true;
+      Bqueue.close q;
+      (* park stdout on /dev/null so the runtime's at-exit flush of
+         the dead descriptor cannot turn this clean shutdown into a
+         fatal Sys_error *)
+      if oc == stdout then
+        (try
+           let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+           (* if fd 1 was closed outright, openfile just reused it *)
+           if null <> Unix.stdout then begin
+             Unix.dup2 null Unix.stdout;
+             Unix.close null
+           end
+         with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  let reader () =
+    let rec loop () =
+      if not (Atomic.get t.stop) then
+        match input_line ic with
+        | line ->
+          if String.trim line <> "" then begin
+            if not (Bqueue.push q line) && not (Bqueue.is_closed q) then begin
+              (* shed: answer immediately from the reader so the queue
+                 stays bounded; only the id is parsed out of the line *)
+              locked t (fun () -> t.total <- t.total + 1);
+              let id =
+                match Json.parse line with
+                | Ok r -> Option.value ~default:Json.Null (Json.member "id" r)
+                | Error _ -> Json.Null
+              in
+              write_json (shed_response t ~id)
+            end
+          end;
+          loop ()
+        | exception End_of_file -> ()
+        | exception Sys_error _ -> ()
+    in
+    loop ();
+    Bqueue.close q
+  in
+  let reader_thread = Thread.create reader () in
+  (* the signal handler may only set an atomic; this watcher turns the
+     flag into a queue close so the drain loop below wakes up *)
+  let finished = Atomic.make false in
+  let watcher =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get finished) && not (Atomic.get t.stop) do
+          Thread.delay 0.02
+        done;
+        Bqueue.close q)
+      ()
+  in
+  let rec drain () =
+    match Bqueue.pop q with
+    | Some line ->
+      write_json (handle_line t line);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set finished true;
+  (try Thread.join watcher with _ -> ());
+  (* the reader may still be blocked in input_line on an open pipe
+     after a signal; it is not joined — it dies with the process *)
+  if Bqueue.is_closed q && Atomic.get t.stop = false then
+    (try Thread.join reader_thread with _ -> ());
+  (* final snapshot on stderr: stdout carries only protocol responses *)
+  (try
+     prerr_endline
+       (Json.to_string (Json.Obj [ "final_stats", stats_json t ]));
+     flush stderr
+   with Sys_error _ -> ())

@@ -1,4 +1,4 @@
-(** Long-running NDJSON prediction service on top of {!Engine}.
+(** Fault-tolerant NDJSON prediction service on top of {!Engine}.
 
     Wire protocol (one JSON object per line):
     {v
@@ -10,23 +10,60 @@
     <- {"id":3,"error":{"kind":"bad_hex","msg":..,"pos":0}}
     -> {"cmd":"stats"}
     <- {"id":null,"stats":{"requests":..,"errors":..,"cache":..,
-                           "latency_us":..,"process":..}}
+                           "queue":..,"supervisor":..,"faults":..,
+                           "limits":..,"latency_us":..,"process":..}}
     v}
 
     [arch] defaults to "SKL", [mode] to "auto"; [id] is echoed
     verbatim (any JSON value, default null).  Error kinds are the
-    {!Facile_x86.Err.kind} names plus ["bad_request"] and
-    ["internal"].  The loop never dies on malformed input; it ends
-    only at EOF. *)
+    {!Facile_x86.Err.kind} names (including ["too_large"] and
+    ["timeout"]) plus ["bad_request"], ["retry_after"] (the bounded
+    request queue was full and the line was shed; the error object
+    carries a ["retry_after_ms"] hint), and ["internal"] (the
+    supervised executor crashed — a bug or an injected fault — and was
+    respawned).
+
+    Robustness model: decode + predict run on a supervised executor
+    domain with respawn/backoff and a circuit breaker ({!Supervise});
+    requests carry an optional wall-clock deadline; input sizes are
+    capped; the memo cache is a bounded LRU; EOF/SIGINT/SIGTERM/EPIPE
+    all drain queued work and flush a final stats snapshot
+    ([{"final_stats":..}] on stderr) before returning. *)
+
+type limits = {
+  max_line_bytes : int;   (** longest accepted request line *)
+  max_input_bytes : int;  (** longest accepted hex/asm payload *)
+  max_insts : int;        (** most instructions per block *)
+}
+
+val default_limits : limits
 
 type t
 
-(** [create ?workers ?memoize ()] starts the service state, including
-    its engine pool (see {!Engine.create}). *)
-val create : ?workers:int -> ?memoize:bool -> unit -> t
+(** [create ?workers ?memoize ?cache_cap ?deadline_ms ?queue_cap
+    ?limits ?supervisor ()] starts the service state, including its
+    engine pool (see {!Engine.create}) and supervised executor.
+    [deadline_ms] arms a per-request wall-clock budget ([0] means an
+    already-spent budget — every predict request answers "timeout" —
+    which the chaos harness uses); omitted, deadlines are off.
+    [queue_cap] (default 128) bounds the request queue of {!run}. *)
+val create :
+  ?workers:int ->
+  ?memoize:bool ->
+  ?cache_cap:int ->
+  ?deadline_ms:int ->
+  ?queue_cap:int ->
+  ?limits:limits ->
+  ?supervisor:Supervise.config ->
+  unit ->
+  t
 
-(** Join the engine's worker domains. *)
+(** Join the supervised executor and the engine's worker domains. *)
 val shutdown : t -> unit
+
+(** Ask a running {!run} loop to drain and return (what the
+    SIGINT/SIGTERM handlers call). *)
+val request_shutdown : t -> unit
 
 (** [handle_line t line] processes one request line and returns the
     response object. Never raises. *)
@@ -34,11 +71,18 @@ val handle_line : t -> string -> Facile_obs.Json.t
 
 (** The service-level statistics snapshot served for
     [{"cmd":"stats"}]: request counts (total/predicted/per-arch),
-    error counts by kind, cache hit rate, p50/p95/p99 request latency,
-    and the global span registry attributing time to model
-    components. *)
+    error counts by kind, cache hits/misses/evictions, queue
+    capacity/shed, supervisor respawns/crashes/degraded state,
+    per-point fault-injection counters, I/O (EPIPE) counts, the
+    configured limits, p50/p95/p99 request latency, and the global
+    span registry attributing time to model components. *)
 val stats_json : t -> Facile_obs.Json.t
 
-(** [run t ic oc] — blocking NDJSON request/response loop until EOF on
-    [ic]. *)
-val run : t -> in_channel -> out_channel -> unit
+(** [run ?signals t ic oc] — pipelined NDJSON request/response loop:
+    a reader thread feeds the bounded queue (shedding with
+    "retry_after" when full) while the calling thread drains it.
+    Returns after EOF, {!request_shutdown}, SIGINT/SIGTERM, or EPIPE,
+    draining queued work first.  [signals] (default [true]) installs
+    the SIGPIPE-ignore and SIGINT/SIGTERM handlers; pass [false] in
+    embedded/test use. *)
+val run : ?signals:bool -> t -> in_channel -> out_channel -> unit

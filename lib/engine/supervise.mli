@@ -1,0 +1,46 @@
+(** Supervised execution on a dedicated executor domain.
+
+    [run t f] executes [f] on the executor domain.  An exception
+    escaping [f] is treated as domain death: the caller gets
+    [Error e], the dead domain is joined, and a replacement is spawned
+    with exponential backoff.  A circuit breaker flips the supervisor
+    into degraded sequential mode — jobs run guarded on the calling
+    thread — after [max_respawns] crashes inside [window_ns], closing
+    again after [cooldown_ns].
+
+    [run] expects a single dispatcher thread (the serve handler loop);
+    it is not a general-purpose thread-safe job pool. *)
+
+type config = {
+  max_respawns : int;     (** breaker threshold within [window_ns] *)
+  window_ns : int;
+  backoff_base_ns : int;  (** first respawn delay, doubling per crash *)
+  backoff_cap_ns : int;
+  cooldown_ns : int;      (** breaker-open duration *)
+}
+
+val default_config : config
+
+type stats = {
+  respawns : int;             (** executors spawned after a crash *)
+  crashes : int;              (** jobs that killed their executor *)
+  degraded : bool;            (** breaker currently open *)
+  degraded_transitions : int; (** breaker flips, both directions *)
+  inline_runs : int;          (** jobs run degraded/backing-off inline *)
+  last_crash : string option;
+}
+
+type t
+
+(** Spawns the initial executor domain. *)
+val create : ?config:config -> unit -> t
+
+(** Run [f] under supervision; [Error e] if [f] raised (crashing the
+    executor) wherever it ran. *)
+val run : t -> (unit -> 'a) -> ('a, exn) result
+
+val stats : t -> stats
+val degraded : t -> bool
+
+(** Stop and join the executor. Further [run]s execute inline. *)
+val shutdown : t -> unit

@@ -9,12 +9,16 @@ type kind =
   | Unknown_arch  (* microarchitecture abbreviation not recognised *)
   | Unknown_mode  (* throughput notion not loop/unroll/auto *)
   | Encode_error  (* bytes <-> instruction translation failed *)
+  | Too_large     (* input exceeds the configured size limits *)
+  | Timeout       (* the request's wall-clock deadline was exceeded *)
 
 type t = { kind : kind; msg : string; pos : int option }
 
 let v ?pos kind msg = { kind; msg; pos }
 
-let all_kinds = [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error ]
+let all_kinds =
+  [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error;
+    Too_large; Timeout ]
 
 (* stable snake_case names: these are wire protocol, not display text *)
 let kind_name = function
@@ -23,6 +27,8 @@ let kind_name = function
   | Unknown_arch -> "unknown_arch"
   | Unknown_mode -> "unknown_mode"
   | Encode_error -> "encode_error"
+  | Too_large -> "too_large"
+  | Timeout -> "timeout"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -35,6 +41,8 @@ let exit_code = function
   | Unknown_arch -> 5
   | Unknown_mode -> 6
   | Encode_error -> 7
+  | Too_large -> 8
+  | Timeout -> 9
 
 let to_string e =
   match e.pos with

@@ -1,0 +1,427 @@
+(* Chaos soak harness for `facile serve`.
+
+   Drives the real binary end to end over OS pipes with thousands of
+   mixed requests — valid hex, assembly, typed-error inputs, malformed
+   JSON, stats probes — under deterministic fault injection
+   (FACILE_FAULT), deadlines, saturation, signals, and tight cache
+   bounds.  The service must never crash: every run must exit 0, answer
+   every accepted line exactly once, keep the valid subset bit-identical
+   to a fault-free baseline, and account for every injected fault in
+   its final stats snapshot.
+
+   Usage: chaos.exe path/to/facile.exe   (wired to `dune build @chaos`) *)
+
+module Json = Facile_obs.Json
+
+let bin = Sys.argv.(1)
+
+let failures = ref 0
+
+let checkf name ok fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if ok then Printf.printf "  ok    %s\n%!" name
+      else begin
+        incr failures;
+        Printf.printf "  FAIL  %s: %s\n%!" name msg
+      end)
+    fmt
+
+let check name ok = checkf name ok "assertion failed"
+
+(* ----- deterministic request corpus ----- *)
+
+(* splitmix64, so the corpus (and any pacing decisions) are identical
+   on every run *)
+let mk_rng seed =
+  let state = ref seed in
+  fun () ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rand_int rng n = Int64.to_int (Int64.rem (Int64.logand (rng ()) Int64.max_int) (Int64.of_int n))
+
+let valid_hexes =
+  [| "90"; "4801d8"; "4829d8"; "4831c0"; "4889d8"; "90904801d8";
+     "4801d84829d8"; "909090" |]
+
+let valid_asms = [| "add rax, rbx"; "imul rcx, rdx"; "xor rax, rax" |]
+
+(* a mixed request line; [i] is the wire id so responses can be joined
+   back to requests *)
+let mixed_request rng i =
+  let id = [ "id", Json.Int i ] in
+  let obj fields = Json.to_string (Json.Obj (id @ fields)) in
+  match rand_int rng 20 with
+  | 0 -> obj [ "hex", Json.Str "zz" ]                       (* bad_hex *)
+  | 1 -> obj [ "arch", Json.Str "ZZZ"; "hex", Json.Str "90" ] (* unknown_arch *)
+  | 2 -> obj [ "mode", Json.Str "spin"; "hex", Json.Str "90" ] (* unknown_mode *)
+  | 3 -> obj [ "hex", Json.Str "62" ]                       (* encode_error *)
+  | 4 -> "definitely not json"                              (* bad_request *)
+  | 5 -> obj [ "asm", Json.Str valid_asms.(rand_int rng (Array.length valid_asms)) ]
+  | 6 -> Json.to_string (Json.Obj (id @ [ "cmd", Json.Str "stats" ]))
+  | 7 ->
+    (* oversized: over the soak runs' --max-input-bytes 4096 *)
+    obj [ "hex", Json.Str (String.concat "" (List.init 4100 (fun _ -> "90"))) ]
+  | _ ->
+    let arch = if rand_int rng 4 = 0 then "HSW" else "SKL" in
+    obj
+      [ "arch", Json.Str arch;
+        "hex", Json.Str valid_hexes.(rand_int rng (Array.length valid_hexes)) ]
+
+let corpus ~n ~seed = let rng = mk_rng (Int64.of_int seed) in List.init n (mixed_request rng)
+
+(* ----- driving one live serve process ----- *)
+
+type outcome = {
+  exit_code : int;
+  lines : string list;        (* stdout lines, in order *)
+  final_stats : Json.t option; (* from the stderr snapshot *)
+  wall_s : float;
+}
+
+(* Feed [requests] (optionally [pace]d in seconds), read every response
+   line; [kill_after n] sends SIGTERM once [n] requests are written and
+   keeps stdin open so shutdown is signal-driven. *)
+let run_serve ?(args = []) ?(env = []) ?(pace = 0.) ?kill_after requests =
+  (* cloexec: the child must NOT inherit the parent ends — holding a
+     copy of in_w would stop its own stdin from ever reaching EOF.
+     create_process dup2s the three fds onto 0/1/2, clearing cloexec
+     on the child's copies. *)
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let err_r, err_w = Unix.pipe ~cloexec:true () in
+  let env_array =
+    Array.append (Unix.environment ())
+      (Array.of_list (List.map (fun (k, v) -> k ^ "=" ^ v) env))
+  in
+  let argv = Array.of_list ((bin :: "serve" :: args)) in
+  let started = Unix.gettimeofday () in
+  let pid = Unix.create_process_env bin argv env_array in_r out_w err_w in
+  Unix.close in_r; Unix.close out_w; Unix.close err_w;
+  let feeder =
+    Thread.create
+      (fun () ->
+        let oc = Unix.out_channel_of_descr in_w in
+        (try
+           List.iteri
+             (fun i line ->
+               output_string oc line;
+               output_char oc '\n';
+               flush oc;
+               if pace > 0. then Thread.delay pace;
+               match kill_after with
+               | Some n when i + 1 = n -> Unix.kill pid Sys.sigterm
+               | _ -> ())
+             requests;
+           if kill_after = None then close_out oc
+           else begin
+             (* signal-driven shutdown: wait for the server to exit
+                before dropping the pipe *)
+             ignore (Unix.waitpid [ Unix.WUNTRACED ] pid);
+             try close_out oc with Sys_error _ -> ()
+           end
+         with Sys_error _ -> (* server went away mid-write: fine *) ()))
+      ()
+  in
+  let errbuf = Buffer.create 4096 in
+  let err_reader =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr err_r in
+        (try
+           while true do
+             Buffer.add_string errbuf (input_line ic);
+             Buffer.add_char errbuf '\n'
+           done
+         with End_of_file -> ());
+        close_in ic)
+      ()
+  in
+  let lines = ref [] in
+  let ic = Unix.in_channel_of_descr out_r in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Thread.join feeder;
+  Thread.join err_reader;
+  let _, status =
+    if kill_after = None then Unix.waitpid [] pid
+    else (pid, Unix.WEXITED 0) (* already reaped by the feeder *)
+  in
+  let wall_s = Unix.gettimeofday () -. started in
+  let exit_code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s -> 128 + s
+    | Unix.WSTOPPED s -> 256 + s
+  in
+  let final_stats =
+    Buffer.contents errbuf |> String.split_on_char '\n'
+    |> List.find_map (fun l ->
+           match Json.parse l with
+           | Ok j -> Json.member "final_stats" j
+           | Error _ -> None)
+  in
+  { exit_code; lines = List.rev !lines; final_stats; wall_s }
+
+(* ----- response utilities ----- *)
+
+let parse_resp line =
+  match Json.parse line with
+  | Ok j -> j
+  | Error m -> failwith (Printf.sprintf "unparseable response %S: %s" line m)
+
+let resp_id j = Option.bind (Json.member "id" j) Json.int_opt
+
+let error_kind j =
+  Option.bind (Json.member "error" j) (fun e ->
+      Option.bind (Json.member "kind" e) Json.string_opt)
+
+(* id -> raw response line, for exact comparison; stats responses vary
+   between runs (latency, uptime) so they are excluded from equality *)
+let by_id lines =
+  List.fold_left
+    (fun acc line ->
+      let j = parse_resp line in
+      match resp_id j with
+      | Some id when Json.member "stats" j = None -> (id, (line, j)) :: acc
+      | _ -> acc)
+    [] lines
+
+let get_int path j =
+  let rec go path j =
+    match path with
+    | [] -> Json.int_opt j
+    | k :: rest -> Option.bind (Json.member k j) (go rest)
+  in
+  match go path j with
+  | Some i -> i
+  | None -> failwith ("final_stats missing " ^ String.concat "." path)
+
+(* ----- phases ----- *)
+
+let soak_n = 5000
+
+let soak_args = [ "--queue"; "100000"; "--max-input-bytes"; "4096" ]
+
+let phase_baseline () =
+  Printf.printf "phase: baseline soak (%d mixed requests)\n%!" soak_n;
+  let reqs = corpus ~n:soak_n ~seed:1 in
+  let r = run_serve ~args:soak_args reqs in
+  check "exit 0" (r.exit_code = 0);
+  checkf "one response per request" (List.length r.lines = soak_n)
+    "%d responses for %d requests" (List.length r.lines) soak_n;
+  List.iter (fun l -> ignore (parse_resp l)) r.lines;
+  let leaked =
+    List.filter (fun l -> error_kind (parse_resp l) = Some "internal") r.lines
+  in
+  checkf "no internal leak without faults" (leaked = []) "%d internal"
+    (List.length leaked);
+  let too_large =
+    List.filter (fun l -> error_kind (parse_resp l) = Some "too_large")
+      r.lines
+  in
+  checkf "oversized requests answered too_large" (too_large <> []) "none";
+  check "final stats flushed" (r.final_stats <> None);
+  (match r.final_stats with
+   | Some s ->
+     checkf "all requests counted" (get_int [ "requests"; "total" ] s = soak_n)
+       "total=%d" (get_int [ "requests"; "total" ] s)
+   | None -> ());
+  r
+
+let phase_faults baseline =
+  Printf.printf "phase: fault-injected soak (same corpus, faults armed)\n%!";
+  let reqs = corpus ~n:soak_n ~seed:1 in
+  let r =
+    run_serve ~args:soak_args
+      ~env:[ "FACILE_FAULT", "decode:0.02:7,predict:0.02:11,respond:0.01:13" ]
+      ~pace:0.0002 (* give crashed executors a chance to respawn *)
+      reqs
+  in
+  check "exit 0 under faults" (r.exit_code = 0);
+  checkf "every line answered" (List.length r.lines = soak_n)
+    "%d responses" (List.length r.lines);
+  let base = by_id baseline.lines in
+  let faulted = by_id r.lines in
+  let diverged =
+    List.filter
+      (fun (id, (line, j)) ->
+        match error_kind j with
+        | Some ("internal" | "timeout" | "retry_after") -> false
+        | _ -> (
+            match List.assoc_opt id base with
+            | Some (bline, _) -> bline <> line
+            | None -> true))
+      faulted
+  in
+  checkf "valid subset identical to fault-free run" (diverged = [])
+    "%d diverged (e.g. id %s)" (List.length diverged)
+    (match diverged with (id, _) :: _ -> string_of_int id | [] -> "-");
+  (match r.final_stats with
+   | None -> check "final stats flushed" false
+   | Some s ->
+     let injected p = get_int [ "faults"; p; "injected" ] s in
+     let total_injected =
+       injected "decode" + injected "predict" + injected "respond"
+     in
+     checkf "faults actually injected" (total_injected > 0) "none injected";
+     (* every injected fault surfaces as a typed internal error — and
+        nothing else produces internal errors in this run *)
+     let internal = get_int [ "errors"; "by_kind"; "internal" ] s in
+     checkf "every injected fault counted"
+       (internal = total_injected)
+       "internal=%d injected=%d" internal total_injected;
+     checkf "executor respawned" (get_int [ "supervisor"; "respawns" ] s > 0)
+       "no respawns";
+     (* at this crash intensity the breaker may or may not be open at
+        snapshot time; if it is, the transition must be accounted *)
+     let open_now =
+       Json.member "supervisor" s
+       |> Fun.flip Option.bind (Json.member "degraded")
+       = Some (Json.Bool true)
+     in
+     check "breaker state accounted"
+       ((not open_now)
+        || get_int [ "supervisor"; "degraded_transitions" ] s >= 1))
+
+let phase_saturation () =
+  Printf.printf "phase: saturation shed (queue 8, no pacing)\n%!";
+  let n = 2000 in
+  let reqs = corpus ~n ~seed:2 in
+  let r = run_serve ~args:[ "--queue"; "8" ] reqs in
+  check "exit 0 at saturation" (r.exit_code = 0);
+  checkf "no line dropped" (List.length r.lines = n) "%d responses"
+    (List.length r.lines);
+  match r.final_stats with
+  | None -> check "final stats flushed" false
+  | Some s ->
+    let shed = get_int [ "queue"; "shed" ] s in
+    checkf "backpressure shed" (shed > 0) "no shedding at queue 8";
+    let sheds =
+      List.filter (fun l -> error_kind (parse_resp l) = Some "retry_after")
+        r.lines
+    in
+    checkf "shed lines answered retry_after" (List.length sheds = shed)
+      "%d retry_after responses, stats say %d" (List.length sheds) shed;
+    (* the number the CI tracks: overhead of shedding at saturation *)
+    Printf.printf
+      "BENCH {\"name\":\"chaos.saturation\",\"requests\":%d,\"shed\":%d,\
+       \"wall_s\":%.3f,\"rps\":%.0f}\n%!"
+      n shed r.wall_s (float_of_int n /. r.wall_s)
+
+let phase_deadline () =
+  Printf.printf "phase: exhausted deadline (--deadline-ms 0)\n%!";
+  let n = 500 in
+  let rng = mk_rng 3L in
+  let reqs =
+    List.init n (fun i ->
+        Json.to_string
+          (Json.Obj
+             [ "id", Json.Int i;
+               "hex",
+               Json.Str valid_hexes.(rand_int rng (Array.length valid_hexes)) ]))
+  in
+  let r =
+    run_serve ~args:[ "--deadline-ms"; "0"; "--queue"; "100000" ] reqs
+  in
+  check "exit 0 with deadlines" (r.exit_code = 0);
+  let timeouts =
+    List.length
+      (List.filter (fun l -> error_kind (parse_resp l) = Some "timeout")
+         r.lines)
+  in
+  checkf "every predict timed out" (timeouts = n) "%d/%d timeouts" timeouts n;
+  match r.final_stats with
+  | None -> check "final stats flushed" false
+  | Some s ->
+    checkf "timeouts counted" (get_int [ "errors"; "by_kind"; "timeout" ] s = n)
+      "stats disagree";
+    checkf "timeouts are not crashes"
+      (get_int [ "supervisor"; "crashes" ] s = 0) "crash counted"
+
+let phase_sigterm () =
+  Printf.printf "phase: SIGTERM mid-stream\n%!";
+  let reqs = corpus ~n:200 ~seed:4 in
+  let r = run_serve ~args:[ "--queue"; "100000" ] ~pace:0.001 ~kill_after:100 reqs in
+  check "exit 0 on SIGTERM" (r.exit_code = 0);
+  check "final stats flushed on SIGTERM" (r.final_stats <> None);
+  checkf "accepted work answered before exit" (List.length r.lines >= 1)
+    "no responses at all"
+
+let phase_breaker () =
+  Printf.printf "phase: circuit breaker (every predict crashes, paced)\n%!";
+  let n = 40 in
+  let reqs =
+    List.init n (fun i ->
+        Json.to_string (Json.Obj [ "id", Json.Int i; "hex", Json.Str "90" ]))
+  in
+  let r =
+    run_serve
+      ~args:[ "--queue"; "100000" ]
+      ~env:[ "FACILE_FAULT", "predict:1:5" ]
+      ~pace:0.02 reqs
+  in
+  check "exit 0 with permanent faults" (r.exit_code = 0);
+  checkf "all answered" (List.length r.lines = n) "%d responses"
+    (List.length r.lines);
+  check "all internal"
+    (List.for_all (fun l -> error_kind (parse_resp l) = Some "internal")
+       r.lines);
+  match r.final_stats with
+  | None -> check "final stats flushed" false
+  | Some s ->
+    checkf "breaker tripped"
+      (get_int [ "supervisor"; "degraded_transitions" ] s >= 1)
+      "degraded_transitions=%d respawns=%d"
+      (get_int [ "supervisor"; "degraded_transitions" ] s)
+      (get_int [ "supervisor"; "respawns" ] s);
+    checkf "degraded work ran inline"
+      (get_int [ "supervisor"; "inline_runs" ] s > 0) "none inline"
+
+let phase_lru () =
+  Printf.printf "phase: bounded cache churn (--cache-cap 64)\n%!";
+  let n = 200 in
+  let reqs =
+    List.init n (fun i ->
+        let hex = String.concat "" (List.init (i + 1) (fun _ -> "90")) in
+        Json.to_string (Json.Obj [ "id", Json.Int i; "hex", Json.Str hex ]))
+  in
+  let r =
+    run_serve ~args:[ "--cache-cap"; "64"; "--queue"; "100000" ] reqs
+  in
+  check "exit 0 under cache churn" (r.exit_code = 0);
+  match r.final_stats with
+  | None -> check "final stats flushed" false
+  | Some s ->
+    checkf "evictions happened"
+      (get_int [ "cache"; "evictions" ] s > 0) "none evicted";
+    checkf "cache stayed bounded" (get_int [ "cache"; "entries" ] s <= 64)
+      "entries=%d" (get_int [ "cache"; "entries" ] s)
+
+let () =
+  (* writes to an already-dead server (SIGTERM phase) must raise
+     Sys_error, not kill the harness *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t0 = Unix.gettimeofday () in
+  let baseline = phase_baseline () in
+  phase_faults baseline;
+  phase_saturation ();
+  phase_deadline ();
+  phase_sigterm ();
+  phase_breaker ();
+  phase_lru ();
+  Printf.printf "chaos: %s in %.1fs\n%!"
+    (if !failures = 0 then "all phases passed"
+     else Printf.sprintf "%d FAILURES" !failures)
+    (Unix.gettimeofday () -. t0);
+  exit (if !failures = 0 then 0 else 1)

@@ -134,7 +134,8 @@ let histogram_tests =
 
 let wire_kinds =
   [ "bad_hex"; "parse_error"; "unknown_arch"; "unknown_mode";
-    "encode_error"; "bad_request"; "internal" ]
+    "encode_error"; "too_large"; "timeout"; "bad_request"; "retry_after";
+    "internal" ]
 
 let well_formed_response (resp : Json.t) =
   (* every response reprints to parseable JSON and is a prediction, an

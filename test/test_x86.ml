@@ -272,6 +272,63 @@ let decoder_mutation =
         | exception Decode.Decode_error _ -> ()
       done)
 
+(* qcheck variants of the robustness property: fully arbitrary strings
+   (not just short random byte runs) through the block-level entry
+   points — the only acceptable exception is Decode_error. *)
+let qcheck_decode_no_crash =
+  QCheck.Test.make ~count:2000
+    ~name:"decode_block/instructions raise only Decode_error"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun bytes ->
+      let probe f =
+        match f bytes with
+        | _ -> true
+        | exception Decode.Decode_error (_, off) ->
+          (* the reported offset points into (or just past) the input *)
+          off >= 0 && off <= String.length bytes
+        | exception _ -> false
+      in
+      probe Decode.decode_block && probe Decode.instructions)
+
+(* Hex.decode on arbitrary text: either a clean byte string that
+   re-encodes to the digits we fed in, or a typed Bad_hex error whose
+   position indexes the first offending character of the original
+   input. *)
+let qcheck_hex_roundtrip =
+  QCheck.Test.make ~count:2000
+    ~name:"Hex.decode round-trips or errors at the right position"
+    QCheck.(string_of_size Gen.(0 -- 40))
+    (fun s ->
+      let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r' in
+      let is_digit c =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+        || (c >= 'A' && c <= 'F')
+      in
+      match Hex.decode s with
+      | Ok bytes ->
+        let digits =
+          String.to_seq s
+          |> Seq.filter (fun c -> not (is_space c))
+          |> String.of_seq
+        in
+        String.length bytes * 2 = String.length digits
+        && String.lowercase_ascii
+             (String.concat ""
+                (List.init (String.length bytes) (fun i ->
+                     Printf.sprintf "%02x" (Char.code bytes.[i]))))
+           = String.lowercase_ascii digits
+      | Error e ->
+        e.Err.kind = Err.Bad_hex
+        && (match e.Err.pos with
+            | Some p ->
+              (* first non-space non-digit character of the input *)
+              p >= 0 && p < String.length s
+              && (not (is_digit s.[p]))
+              && not (is_space s.[p])
+            | None ->
+              (* only the odd-digit-count failure carries no position *)
+              String.for_all (fun c -> is_digit c || is_space c) s))
+
 let asm_errors =
   Alcotest.test_case "asm parser rejects garbage gracefully" `Quick (fun () ->
       let bad s =
@@ -305,7 +362,10 @@ let asm_errors =
 
 let suite =
   [ "x86.golden", golden_tests;
-    "x86.robustness", [ decoder_fuzz; decoder_mutation; asm_errors ];
+    "x86.robustness",
+    [ decoder_fuzz; decoder_mutation;
+      QCheck_alcotest.to_alcotest qcheck_decode_no_crash;
+      QCheck_alcotest.to_alcotest qcheck_hex_roundtrip; asm_errors ];
     "x86.layout", layout_tests;
     "x86.roundtrip", block_roundtrip :: roundtrip_tests;
     "x86.asm", [ asm_roundtrip; register_names ];

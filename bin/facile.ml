@@ -692,6 +692,90 @@ let region_cmd =
           (blocks separated by '== <weight>' lines).")
     Term.(const run $ arch_arg $ file_arg)
 
+(* ----- check: static self-verification of the data layers ----- *)
+
+let check_cmd =
+  let run arches families json =
+    finish (fun () ->
+        let* cfgs =
+          match arches with
+          | [] -> Ok Config.all
+          | l ->
+            List.fold_left
+              (fun acc a ->
+                let* acc = acc in
+                match Config.of_abbrev a with
+                | Some cfg -> Ok (cfg :: acc)
+                | None ->
+                  Error
+                    (Err.v Err.Unknown_arch
+                       ("unknown microarchitecture: " ^ a)))
+              (Ok []) l
+            |> Result.map List.rev
+        in
+        let* families =
+          match families with
+          | [] -> Ok Facile_check.Check.analyzer_names
+          | l ->
+            let bad =
+              List.filter
+                (fun f -> not (List.mem f Facile_check.Check.analyzer_names))
+                l
+            in
+            if bad = [] then Ok l
+            else
+              Error
+                (Err.v Err.Parse_error
+                   (Printf.sprintf "unknown analyzer %s (expected %s)"
+                      (String.concat "," bad)
+                      (String.concat "|" Facile_check.Check.analyzer_names)))
+        in
+        let r = Facile_check.Check.run_all ~cfgs ~families () in
+        if json then
+          print_endline (Json.to_string (Facile_check.Check.report_to_json r))
+        else begin
+          List.iter
+            (fun f -> print_endline (Facile_check.Finding.to_string f))
+            r.Facile_check.Check.findings;
+          Printf.printf "check: %s\n" (Facile_check.Check.summary r)
+        end;
+        if Facile_check.Check.ok r then Ok ()
+        else Error (Err.v Err.Check_failed (Facile_check.Check.summary r)))
+  in
+  let arches_arg =
+    let doc =
+      "Microarchitecture to check (repeatable; default: all nine)."
+    in
+    Arg.(value & opt_all string [] & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+  in
+  let only_arg =
+    let doc =
+      "Analyzer family to run (repeatable; config, tables, codec, model; \
+       default: all)."
+    in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"FAMILY" ~doc)
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Statically cross-checks the repository's own data layers: the \
+         nine microarchitecture configs (port maps, width ordering, \
+         feature flags), the instruction database (µop decomposition, \
+         port mappings, latencies for every enumerated mnemonic and \
+         operand shape), the encoder/decoder pair (round-trip identity, \
+         layout metadata, prefix and LCP byte-level assumptions, opcode \
+         table liveness), and the throughput model's combination \
+         invariants on a seeded generated corpus.";
+      `P
+        "Findings carry a stable rule id (catalogued in DESIGN.md \
+         section 10) and a severity. Exit status is 10 (check_failed) \
+         when any error-severity finding is reported, 0 otherwise." ]
+  in
+  Cmd.v
+    (Cmd.info "check" ~man
+       ~doc:"Statically verify model tables, codec, and configs.")
+    Term.(const run $ arches_arg $ only_arg $ json_arg)
+
 (* ----- disasm: decode machine code with layout details ----- *)
 
 let disasm_cmd =
@@ -738,4 +822,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; serve_cmd;
-            simulate_cmd; isa_cmd; region_cmd; disasm_cmd ]))
+            simulate_cmd; isa_cmd; region_cmd; disasm_cmd; check_cmd ]))

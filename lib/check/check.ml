@@ -1,0 +1,50 @@
+(* Aggregator for the four analyzer families.  `facile check` and the
+   `@check` build alias both come through [run_all]; the summary and
+   JSON encodings live here so the CLI stays a thin shell. *)
+
+open Facile_uarch
+
+type report = {
+  findings : Finding.t list;
+  n_error : int;
+  n_warn : int;
+  n_info : int;
+}
+
+let analyzers =
+  [ "config", (fun cfgs -> Config_lint.run ~cfgs ());
+    "tables", (fun cfgs -> Table_check.run ~cfgs ());
+    "codec", (fun _ -> Codec_check.run ());
+    "model", (fun cfgs -> Model_check.run ~cfgs ()) ]
+
+let analyzer_names = List.map fst analyzers
+
+let run_all ?(cfgs = Config.all) ?(families = analyzer_names) () =
+  let findings =
+    List.concat_map
+      (fun (name, f) -> if List.mem name families then f cfgs else [])
+      analyzers
+  in
+  let findings = List.sort Finding.compare findings in
+  { findings;
+    n_error = Finding.count Finding.Error findings;
+    n_warn = Finding.count Finding.Warn findings;
+    n_info = Finding.count Finding.Info findings }
+
+let ok r = r.n_error = 0
+
+let summary r =
+  Printf.sprintf "%d error%s, %d warning%s, %d info" r.n_error
+    (if r.n_error = 1 then "" else "s")
+    r.n_warn
+    (if r.n_warn = 1 then "" else "s")
+    r.n_info
+
+let report_to_json r : Facile_obs.Json.t =
+  let open Facile_obs in
+  Json.Obj
+    [ "ok", Json.Bool (ok r);
+      "errors", Json.Int r.n_error;
+      "warnings", Json.Int r.n_warn;
+      "infos", Json.Int r.n_info;
+      "findings", Json.Arr (List.map Finding.to_json r.findings) ]

@@ -1,0 +1,30 @@
+(** Aggregator for the [facile check] static-analysis pass: runs the
+    config, table, codec, and model analyzer families and folds the
+    findings into a single report. *)
+
+open Facile_uarch
+
+type report = {
+  findings : Finding.t list;  (** sorted: errors first *)
+  n_error : int;
+  n_warn : int;
+  n_info : int;
+}
+
+(** Names of the analyzer families, in run order:
+    ["config"; "tables"; "codec"; "model"]. *)
+val analyzer_names : string list
+
+(** [run_all ()] runs every family over all nine configs. [cfgs]
+    restricts the arch set ("codec" is arch-independent and always runs
+    in full); [families] restricts the analyzer set. *)
+val run_all :
+  ?cfgs:Config.t list -> ?families:string list -> unit -> report
+
+(** No error-severity findings. *)
+val ok : report -> bool
+
+(** One-line count summary, e.g. ["0 errors, 0 warnings, 6 info"]. *)
+val summary : report -> string
+
+val report_to_json : report -> Facile_obs.Json.t

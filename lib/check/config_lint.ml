@@ -1,0 +1,165 @@
+(* Config linter: structural invariants of the per-microarchitecture
+   configuration tables — the cfg- rule family.
+
+   Single-config rules run on one [Config.t] so mutation tests can feed
+   corrupted copies; cross-config rules (uniqueness, generation
+   ordering) run on a config list. *)
+
+open Facile_uarch
+
+let error = Finding.error
+let where cfg field = Printf.sprintf "%s/%s" cfg.Config.abbrev field
+
+(* --- per-config ---------------------------------------------------- *)
+
+let lint_ports cfg =
+  let pm = cfg.Config.pm in
+  let fields = Config.pm_fields pm in
+  let empties =
+    List.concat_map
+      (fun (name, p) ->
+        (* fp_fma is legitimately empty on pre-FMA parts (SNB/IVB) *)
+        if Port.is_empty p && not (name = "fp_fma" && not cfg.Config.has_avx2_fma)
+        then
+          [ error "cfg-ports-empty" (where cfg ("pm." ^ name))
+              "dispatch-port set is empty" ]
+        else [])
+      fields
+  in
+  let subsets =
+    List.concat_map
+      (fun (name, p) ->
+        if Port.subset p cfg.Config.ports then []
+        else
+          [ error "cfg-ports-subset" (where cfg ("pm." ^ name))
+              (Printf.sprintf "ports %s not a subset of machine ports %s"
+                 (Port.to_string p) (Port.to_string cfg.Config.ports)) ])
+      fields
+  in
+  let union =
+    let u =
+      List.fold_left (fun acc (_, p) -> Port.union acc p) Port.empty fields
+    in
+    if Port.equal u cfg.Config.ports then []
+    else
+      [ error "cfg-ports-union" (where cfg "ports")
+          (Printf.sprintf "ports %s is not the union %s of the port map"
+             (Port.to_string cfg.Config.ports) (Port.to_string u)) ]
+  in
+  empties @ subsets @ union
+
+let lint_widths cfg =
+  let open Config in
+  let pos =
+    List.concat_map
+      (fun (name, v) ->
+        if v > 0 then []
+        else
+          [ error "cfg-width-positive" (where cfg name)
+              (Printf.sprintf "must be positive, got %d" v) ])
+      [ "n_decoders", cfg.n_decoders;
+        "predecode_width", cfg.predecode_width;
+        "issue_width", cfg.issue_width;
+        "dsb_width", cfg.dsb_width;
+        "idq_size", cfg.idq_size;
+        "lsd_unroll_max", cfg.lsd_unroll_max;
+        "lsd_unroll_target", cfg.lsd_unroll_target;
+        "rob_size", cfg.rob_size;
+        "rs_size", cfg.rs_size;
+        "load_latency", cfg.load_latency ]
+  in
+  let order =
+    List.concat_map
+      (fun (msg, la, a, lb, b) ->
+        if a <= b then []
+        else
+          [ error "cfg-width-order" (where cfg msg)
+              (Printf.sprintf "%s (%d) exceeds %s (%d)" la a lb b) ])
+      [ "issue<=dsb", "issue_width", cfg.issue_width, "dsb_width",
+        cfg.dsb_width;
+        "idq<=rob", "idq_size", cfg.idq_size, "rob_size", cfg.rob_size;
+        "rs<=rob", "rs_size", cfg.rs_size, "rob_size", cfg.rob_size;
+        "dec<=predec", "n_decoders", cfg.n_decoders, "predecode_width",
+        cfg.predecode_width;
+        "unroll<=idq", "lsd_unroll_target", cfg.lsd_unroll_target,
+        "idq_size", cfg.idq_size ]
+  in
+  pos @ order
+
+(* The JCC-erratum mitigation and the LSD never coexist: the only parts
+   with the mitigation (SKL/CLX) are exactly the ones whose LSD is
+   fused off by the SKL150 erratum. *)
+let lint_flags cfg =
+  if cfg.Config.jcc_erratum && cfg.Config.lsd_enabled then
+    [ error "cfg-jcc-lsd" (where cfg "lsd_enabled")
+        "jcc_erratum mitigation and LSD cannot both be active" ]
+  else []
+
+let lint_one cfg = lint_ports cfg @ lint_widths cfg @ lint_flags cfg
+
+(* --- cross-config -------------------------------------------------- *)
+
+let lint_unique cfgs =
+  let dup name proj =
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun cfg ->
+        let k = proj cfg in
+        if Hashtbl.mem seen k then
+          [ error "cfg-unique" (where cfg name)
+              (Printf.sprintf "duplicate %s %S" name k) ]
+        else begin
+          Hashtbl.add seen k ();
+          []
+        end)
+      cfgs
+  in
+  dup "abbrev" (fun c -> c.Config.abbrev)
+  @ dup "name" (fun c -> c.Config.name)
+  @ dup "arch" (fun c -> Config.arch_name c.Config.arch)
+
+(* The shipped catalog (not the user's -a selection) must hold exactly
+   the paper's nine generations. *)
+let lint_catalog () =
+  let n = List.length Config.all in
+  if n = 9 then []
+  else
+    [ error "cfg-unique" "configs"
+        (Printf.sprintf "expected 9 microarchitectures, found %d" n) ]
+
+(* Capacities and ISA features only grow across the generation sequence
+   (Table 1 of the paper); a regression in the tables is a typo. *)
+let lint_generation cfgs =
+  let mono name proj =
+    let rec go acc = function
+      | a :: (b :: _ as rest) ->
+        let acc =
+          if proj a <= proj b then acc
+          else
+            error "cfg-generation-order" (where b name)
+              (Printf.sprintf "%s decreases %d -> %d from %s" name (proj a)
+                 (proj b) a.Config.abbrev)
+            :: acc
+        in
+        go acc rest
+      | _ -> List.rev acc
+    in
+    go [] cfgs
+  in
+  let mono_flag name proj = mono name (fun c -> if proj c then 1 else 0) in
+  mono "released" (fun c -> c.Config.released)
+  @ mono "issue_width" (fun c -> c.Config.issue_width)
+  @ mono "dsb_width" (fun c -> c.Config.dsb_width)
+  @ mono "idq_size" (fun c -> c.Config.idq_size)
+  @ mono "rob_size" (fun c -> c.Config.rob_size)
+  @ mono "rs_size" (fun c -> c.Config.rs_size)
+  @ mono "load_latency" (fun c -> c.Config.load_latency)
+  @ mono_flag "has_avx2_fma" (fun c -> c.Config.has_avx2_fma)
+  @ mono_flag "unlamination_simple_ok" (fun c ->
+        c.Config.unlamination_simple_ok)
+  @ mono_flag "macro_fusible_on_last_decoder" (fun c ->
+        c.Config.macro_fusible_on_last_decoder)
+
+let run ?(cfgs = Config.all) () =
+  List.concat_map lint_one cfgs @ lint_unique cfgs @ lint_generation cfgs
+  @ lint_catalog ()

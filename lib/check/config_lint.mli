@@ -1,0 +1,21 @@
+(** Config linter (rule family [cfg-*]): structural invariants of the
+    microarchitecture tables — port maps, width/buffer ordering,
+    feature-flag consistency, uniqueness and generation monotonicity.
+    See DESIGN.md section 10 for the rule catalog. *)
+
+open Facile_uarch
+
+(** Single-config rules, exposed for mutation self-tests. *)
+val lint_one : Config.t -> Finding.t list
+
+(** Cross-config uniqueness of abbrev/name/arch. *)
+val lint_unique : Config.t list -> Finding.t list
+
+(** The shipped catalog holds exactly nine generations. *)
+val lint_catalog : unit -> Finding.t list
+
+(** Monotone capacity/feature growth across the generation sequence. *)
+val lint_generation : Config.t list -> Finding.t list
+
+(** All config rules over [cfgs] (default: the nine shipped configs). *)
+val run : ?cfgs:Config.t list -> unit -> Finding.t list

@@ -1,0 +1,48 @@
+(* One structured result of a static-analysis rule.  Rule ids are
+   stable wire/CI contract (DESIGN.md section 10 is the catalog);
+   severity decides the exit code of `facile check`. *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  severity : severity;
+  rule : string;   (* stable rule id, e.g. "cfg-ports-subset" *)
+  where : string;  (* location, e.g. "SKL/pm.alu" or "HSW:add rax, rbx" *)
+  msg : string;
+}
+
+let v severity rule where msg = { severity; rule; where; msg }
+let error rule where msg = v Error rule where msg
+let warn rule where msg = v Warn rule where msg
+let info rule where msg = v Info rule where msg
+
+let severity_name = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+
+(* Error < Warn < Info so sorted output leads with what matters. *)
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 ->
+    (match String.compare a.rule b.rule with
+     | 0 -> String.compare a.where b.where
+     | c -> c)
+  | c -> c
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+
+let to_json (f : t) : Facile_obs.Json.t =
+  let open Facile_obs in
+  Json.Obj
+    [ "severity", Json.Str (severity_name f.severity);
+      "rule", Json.Str f.rule;
+      "where", Json.Str f.where;
+      "msg", Json.Str f.msg ]
+
+let to_string f =
+  Printf.sprintf "%-5s %-18s %-28s %s" (severity_name f.severity) f.rule
+    f.where f.msg

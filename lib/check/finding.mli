@@ -1,0 +1,33 @@
+(** Structured findings emitted by the [facile check] analyzers.
+
+    Every finding carries a stable rule id (catalogued in DESIGN.md
+    section 10), a location string, and a message. [Error]-severity
+    findings fail the build / make the CLI exit nonzero; [Warn] flags
+    suspicious-but-tolerated table states; [Info] records coverage
+    statistics so a silent no-op sweep is visible. *)
+
+type severity = Error | Warn | Info
+
+type t = {
+  severity : severity;
+  rule : string;
+  where : string;
+  msg : string;
+}
+
+val v : severity -> string -> string -> string -> t
+val error : string -> string -> string -> t
+val warn : string -> string -> string -> t
+val info : string -> string -> string -> t
+
+val severity_name : severity -> string
+
+(** Orders [Error] first, then by rule id and location. *)
+val compare : t -> t -> int
+
+val errors : t list -> t list
+val count : severity -> t list -> int
+val to_json : t -> Facile_obs.Json.t
+
+(** One fixed-width text line (severity, rule, location, message). *)
+val to_string : t -> string

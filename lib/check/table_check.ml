@@ -1,0 +1,113 @@
+(* Instruction-table cross-check, the tbl- rule family: every enumerated
+   mnemonic x operand-shape form must have a µop decomposition, port
+   mapping and latency on every microarchitecture, and the descriptor
+   must satisfy the decode/rename-domain arithmetic the components rely
+   on.  The ISA feature gate is re-derived independently in [Forms] and
+   compared against what [Db.describe] actually accepts, so a gating
+   bug cannot hide in the only place that implements it. *)
+
+open Facile_x86
+open Facile_uarch
+open Facile_db
+
+let error = Finding.error
+
+let where cfg inst =
+  Printf.sprintf "%s:%s" cfg.Config.abbrev (Inst.to_string inst)
+
+(* Latency ceiling: the slowest supported operation (divide/sqrt) sits
+   far below this; anything larger is a corrupted table entry. *)
+let max_latency = 64
+
+(* Forms with no enumerated shape: the enumerator lost coverage. *)
+let coverage by_mnemonic =
+  List.concat_map
+    (fun (mn, forms) ->
+      if forms = [] then
+        [ error "tbl-missing-form" (Inst.mnemonic_name mn)
+            "no operand shape enumerated for this mnemonic" ]
+      else [])
+    by_mnemonic
+
+let check_desc cfg inst (d : Db.t) =
+  let w = where cfg inst in
+  let err rule msg = [ error rule w msg ] in
+  let counts =
+    (if d.fused_uops >= 1 then []
+     else err "tbl-uop-count"
+         (Printf.sprintf "fused_uops %d < 1" d.fused_uops))
+    @ (if d.issued_uops >= d.fused_uops then []
+       else err "tbl-uop-count"
+           (Printf.sprintf "issued_uops %d < fused_uops %d" d.issued_uops
+              d.fused_uops))
+    @
+    if d.eliminated then
+      if d.dispatched = [] && d.latency = 0 then []
+      else err "tbl-uop-count" "eliminated entry dispatches µops or has latency"
+    else if d.dispatched = [] then
+      err "tbl-uop-count" "non-eliminated entry dispatches no µops"
+    else []
+  in
+  let ports =
+    List.concat_map
+      (fun (u : Db.uop) ->
+        (if Port.is_empty u.ports then
+           err "tbl-port-empty" "dispatched µop has empty port set"
+         else [])
+        @
+        if Port.subset u.ports cfg.Config.ports then []
+        else
+          err "tbl-port-subset"
+            (Printf.sprintf "µop ports %s outside machine ports %s"
+               (Port.to_string u.ports)
+               (Port.to_string cfg.Config.ports)))
+      d.dispatched
+  in
+  let latency =
+    if d.latency >= 0 && d.latency <= max_latency then []
+    else
+      err "tbl-latency"
+        (Printf.sprintf "latency %d outside [0, %d]" d.latency max_latency)
+  in
+  let dec =
+    let n = cfg.Config.n_decoders in
+    (if d.available_simple_dec >= 0 && d.available_simple_dec <= n - 1 then []
+     else
+       err "tbl-simple-dec"
+         (Printf.sprintf "available_simple_dec %d outside [0, %d]"
+            d.available_simple_dec (n - 1)))
+    @
+    if d.complex_decode = (d.fused_uops > 1) then []
+    else
+      err "tbl-simple-dec"
+        (Printf.sprintf "complex_decode %b inconsistent with fused_uops %d"
+           d.complex_decode d.fused_uops)
+  in
+  counts @ ports @ latency @ dec
+
+let check_form ?(requires = Forms.requires_avx2_fma) cfg inst =
+  let expected = (not (requires inst)) || cfg.Config.has_avx2_fma in
+  match Db.describe cfg inst with
+  | d ->
+    if expected then check_desc cfg inst d
+    else
+      [ error "tbl-gate-leak" (where cfg inst)
+          "accepted by the DB but the ISA gate says unsupported here" ]
+  | exception Db.Unsupported msg ->
+    if expected then
+      [ error "tbl-hole" (where cfg inst)
+          (Printf.sprintf "no table entry on this arch: %s" msg) ]
+    else []
+
+let run_cfg ?(by_mnemonic = Forms.by_mnemonic) cfg =
+  List.concat_map
+    (fun (_, forms) -> List.concat_map (check_form cfg) forms)
+    by_mnemonic
+
+let run ?(cfgs = Config.all) () =
+  let forms = List.length Forms.all in
+  coverage Forms.by_mnemonic
+  @ List.concat_map (fun cfg -> run_cfg cfg) cfgs
+  @ [ Finding.info "tbl-coverage" "forms"
+        (Printf.sprintf "%d forms x %d arches cross-checked" forms
+           (List.length cfgs)) ]

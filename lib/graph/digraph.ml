@@ -2,7 +2,7 @@ type edge = { src : int; dst : int; weight : float; count : int }
 
 type t = {
   n : int;
-  mutable out : edge list array;
+  out : edge list array;
   mutable all : edge list;  (* reverse insertion order *)
   mutable m : int;
 }

@@ -15,8 +15,7 @@ type duop = {
   uports : Port.t;
   mutable bound_port : int;          (* Hardware fidelity: set at rename *)
   mutable dep_uops : duop list;      (* intra-instruction ordering *)
-  mutable res_deps : dyn list;       (* data-producing instructions *)
-  mutable start_cycle : int;
+  res_deps : dyn list;               (* data-producing instructions *)
   mutable done_cycle : int;
   mutable is_result : bool;
   mutable result_latency : int;
@@ -283,7 +282,6 @@ let rename_dyn cfg rename_table ~iter ~idx (l : Block.logical) =
              bound_port = -1;
              dep_uops = [];
              res_deps = memq_dedup (List.filter_map lookup (res_for u.Db.kind));
-             start_cycle = -1;
              done_cycle = unreached;
              is_result = false;
              result_latency = 0 })
@@ -410,7 +408,6 @@ let cycles_per_iteration ?(fidelity = Hardware) ?(warmup = 64) ?(measure = 48)
       && List.for_all (fun (d : dyn) -> d.result_time <= t) u.res_deps
     in
     let start_uop t (d : dyn) (u : duop) =
-      u.start_cycle <- t;
       u.done_cycle <-
         t + (if u.ukind = Db.Load then cfg.Config.load_latency else 1);
       if u.is_result then d.result_time <- t + u.result_latency;

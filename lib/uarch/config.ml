@@ -124,12 +124,18 @@ let pm_icl =
 
 let pm_tgl = { pm_icl with store_data = p [ 4; 9 ] }
 
+let pm_fields pm =
+  [ "alu", pm.alu; "shift", pm.shift; "branch", pm.branch;
+    "slow_int", pm.slow_int; "divider", pm.divider; "load", pm.load;
+    "store_agu", pm.store_agu; "store_data", pm.store_data;
+    "lea", pm.lea; "slow_lea", pm.slow_lea; "fp_add", pm.fp_add;
+    "fp_mul", pm.fp_mul; "fp_fma", pm.fp_fma; "vec_alu", pm.vec_alu;
+    "vec_imul", pm.vec_imul; "shuffle", pm.shuffle;
+    "vec_shift", pm.vec_shift ]
+
 let ports_of_pm pm =
-  List.fold_left Port.union Port.empty
-    [ pm.alu; pm.shift; pm.branch; pm.slow_int; pm.divider; pm.load;
-      pm.store_agu; pm.store_data; pm.lea; pm.slow_lea; pm.fp_add;
-      pm.fp_mul; pm.fp_fma; pm.vec_alu; pm.vec_imul; pm.shuffle;
-      pm.vec_shift ]
+  List.fold_left (fun acc (_, p) -> Port.union acc p) Port.empty
+    (pm_fields pm)
 
 let mk ~arch ~name ~abbrev ~released ~cpu ~issue_width ~dsb_width ~idq_size
     ~lsd_enabled ~jcc_erratum ~mov_elim_gpr ~mov_elim_vec

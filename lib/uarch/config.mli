@@ -61,6 +61,11 @@ type t = {
   pm : port_map;
 }
 
+(** The named dispatch-port sets of a [port_map], in declaration
+    order — the single place the field list is spelled out, used by
+    [ports]-derivation and the [facile check] config linter. *)
+val pm_fields : port_map -> (string * Port.t) list
+
 (** All nine configurations, oldest (SNB) first. *)
 val all : t list
 

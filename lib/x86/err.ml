@@ -11,6 +11,7 @@ type kind =
   | Encode_error  (* bytes <-> instruction translation failed *)
   | Too_large     (* input exceeds the configured size limits *)
   | Timeout       (* the request's wall-clock deadline was exceeded *)
+  | Check_failed  (* facile check found error-severity findings *)
 
 type t = { kind : kind; msg : string; pos : int option }
 
@@ -18,7 +19,7 @@ let v ?pos kind msg = { kind; msg; pos }
 
 let all_kinds =
   [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error;
-    Too_large; Timeout ]
+    Too_large; Timeout; Check_failed ]
 
 (* stable snake_case names: these are wire protocol, not display text *)
 let kind_name = function
@@ -29,6 +30,7 @@ let kind_name = function
   | Encode_error -> "encode_error"
   | Too_large -> "too_large"
   | Timeout -> "timeout"
+  | Check_failed -> "check_failed"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -43,6 +45,7 @@ let exit_code = function
   | Encode_error -> 7
   | Too_large -> 8
   | Timeout -> 9
+  | Check_failed -> 10
 
 let to_string e =
   match e.pos with

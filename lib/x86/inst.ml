@@ -152,6 +152,10 @@ let mnemonic_name = function
   | CMOVcc c -> "cmov" ^ cond_name c
   | m -> List.assoc m simple_mnemonics
 
+let all_mnemonics =
+  List.map fst simple_mnemonics
+  @ List.concat_map (fun c -> [ Jcc c; SETcc c; CMOVcc c ]) all_conds
+
 let strip_prefix p s =
   let n = String.length p in
   if String.length s > n && String.sub s 0 n = p then

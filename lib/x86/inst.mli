@@ -83,6 +83,15 @@ val cond_name : cond -> string
 
 val cond_of_name : string -> cond option
 
+(** All sixteen condition codes, in encoding order. *)
+val all_conds : cond list
+
+(** Every mnemonic, with the [Jcc]/[SETcc]/[CMOVcc] families
+    instantiated over all sixteen condition codes. Lets the static
+    checker ([facile check]) prove its form enumeration covers the
+    whole instruction space. *)
+val all_mnemonics : mnemonic list
+
 (** Canonical lower-case mnemonic text ("add", "jne", "cmovge", ...). *)
 val mnemonic_name : mnemonic -> string
 

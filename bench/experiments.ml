@@ -24,6 +24,25 @@ type mode = U | L
 
 let mode_str = function U -> "U" | L -> "L"
 
+(* Machine-readable benchmark records: one `BENCH {...}` line on stdout
+   (greppable from CI logs) and the same JSON persisted to
+   BENCH_<name>.json in $FACILE_BENCH_DIR (default: the working
+   directory), so benchmark results survive as artifacts. *)
+let bench_record name fields =
+  let module Json = Facile_obs.Json in
+  let line = Json.to_string (Json.Obj (("name", Json.Str name) :: fields)) in
+  Printf.printf "BENCH %s\n" line;
+  let dir =
+    match Sys.getenv_opt "FACILE_BENCH_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.current_dir_name
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+  let oc = open_out path in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc
+
 (* ------------------------------------------------------------------ *)
 (* Cached evaluation data: per (arch, mode), the analyzed blocks and    *)
 (* the oracle measurement.                                             *)
@@ -605,14 +624,14 @@ let engine_bench () =
         Printf.sprintf "%.2fx" (t_seq /. Float.max t_memo 1e-9) ] ];
   Printf.printf "predictions bit-identical across configurations: %b\n"
     identical;
-  Printf.printf
-    "BENCH {\"name\":\"engine\",\"blocks\":%d,\"workers\":%d,\
-     \"seq_blocks_per_sec\":%.0f,\"par_blocks_per_sec\":%.0f,\
-     \"memo_blocks_per_sec\":%.0f,\"speedup\":%.3f,\
-     \"memo_hits\":%d,\"identical\":%b}\n"
-    n workers (rate t_seq) (rate t_par) (rate t_memo)
-    (t_seq /. Float.max t_par 1e-9)
-    hits identical
+  let module Json = Facile_obs.Json in
+  bench_record "engine"
+    [ "blocks", Json.Int n; "workers", Json.Int workers;
+      "seq_blocks_per_sec", Json.Float (rate t_seq);
+      "par_blocks_per_sec", Json.Float (rate t_par);
+      "memo_blocks_per_sec", Json.Float (rate t_memo);
+      "speedup", Json.Float (t_seq /. Float.max t_par 1e-9);
+      "memo_hits", Json.Int hits; "identical", Json.Bool identical ]
 
 (* ------------------------------------------------------------------ *)
 (* Notion gap: TP_U vs TP_L (the §3.1 motivation)                      *)
@@ -752,8 +771,124 @@ let obs_bench () =
         "-"; "-" ] ];
   Printf.printf "cache hit rate: %.2f; speedup vs one-shot: %s\n" hit_rate
     (if speedup > 0.0 then Printf.sprintf "%.1fx" speedup else "n/a");
-  Printf.printf
-    "BENCH {\"name\":\"obs\",\"requests\":%d,\"served_rps\":%.0f,\
-     \"oneshot_rps\":%.0f,\"speedup\":%.3f,\"p50_us\":%.1f,\
-     \"p99_us\":%.1f,\"cache_hit_rate\":%.3f}\n"
-    n served_rps oneshot_rps speedup p50 p99 hit_rate
+  bench_record "obs"
+    [ "requests", Json.Int n; "served_rps", Json.Float served_rps;
+      "oneshot_rps", Json.Float oneshot_rps;
+      "speedup", Json.Float speedup; "p50_us", Json.Float p50;
+      "p99_us", Json.Float p99; "cache_hit_rate", Json.Float hit_rate ]
+
+(* ------------------------------------------------------------------ *)
+(* perf: hot-path ns/block per arch, fast pipeline vs the reference    *)
+(* (pre-flattening) pipeline, with a CI regression gate against the    *)
+(* committed bench/baseline_perf.json.                                 *)
+
+exception Perf_regression of string
+
+let perf () =
+  let module Json = Facile_obs.Json in
+  let cases = Suite.corpus ~seed:eval_seed ~size:100 () in
+  let reps = 5 in
+  let measure f blocks =
+    (* one untimed pass warms the arenas and the memo-free caches; the
+       fastest of [reps] timed passes is reported, so transient
+       scheduler interference cannot fake a regression *)
+    List.iter (fun b -> ignore (f b)) blocks;
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      List.iter (fun b -> ignore (f b)) blocks;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e9 /. float_of_int (List.length blocks)
+  in
+  let rows =
+    List.map
+      (fun (cfg : Config.t) ->
+        let blocks =
+          List.map
+            (fun (c : Suite.case) -> Block.of_instructions cfg c.Suite.loop)
+            cases
+        in
+        let fast = measure (fun b -> Model.predict b) blocks in
+        let refn = measure (fun b -> Model.predict_reference b) blocks in
+        (cfg, fast, refn, refn /. Float.max fast 1e-9))
+      Config.all
+  in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Hot path: ns per predicted block (loop notion, %d blocks x %d reps)"
+         (List.length cases) reps)
+    ~header:[ "uArch"; "ns/block"; "reference ns/block"; "speedup" ]
+    (List.map
+       (fun (cfg, fast, refn, s) ->
+         [ cfg.Config.abbrev; Printf.sprintf "%.0f" fast;
+           Printf.sprintf "%.0f" refn; Printf.sprintf "%.2fx" s ])
+       rows);
+  List.iter
+    (fun (cfg, fast, _, s) ->
+      Printf.printf "%s ns/block %.0f (%.2fx vs reference)\n" cfg.Config.abbrev
+        fast s)
+    rows;
+  bench_record "perf"
+    [ "corpus", Json.Int (List.length cases);
+      "reps", Json.Int reps;
+      ( "arches",
+        Json.Arr
+          (List.map
+             (fun (cfg, fast, refn, s) ->
+               Json.Obj
+                 [ "arch", Json.Str cfg.Config.abbrev;
+                   "ns_per_block", Json.Float fast;
+                   "ref_ns_per_block", Json.Float refn;
+                   "speedup", Json.Float s ])
+             rows) ) ];
+  (* Regression gate: each arch's ns/block may exceed its committed
+     baseline by at most 20%.  FACILE_PERF_BASELINE overrides the
+     baseline path; an absent file skips the gate (fresh checkouts
+     regenerate it with `main.exe perf`). *)
+  let baseline_path =
+    match Sys.getenv_opt "FACILE_PERF_BASELINE" with
+    | Some p when p <> "" -> p
+    | _ -> "bench/baseline_perf.json"
+  in
+  if not (Sys.file_exists baseline_path) then
+    Printf.printf "perf gate skipped: no baseline at %s\n" baseline_path
+  else begin
+    let ic = open_in baseline_path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let baseline =
+      match Json.parse text with
+      | Ok j -> j
+      | Error e -> raise (Perf_regression ("unreadable baseline: " ^ e))
+    in
+    let baseline_ns arch =
+      match Json.member "arches" baseline with
+      | Some (Json.Arr entries) ->
+        List.find_map
+          (fun e ->
+            match Json.member "arch" e with
+            | Some (Json.Str a) when a = arch ->
+              Option.bind (Json.member "ns_per_block" e) Json.float_opt
+            | _ -> None)
+          entries
+      | _ -> None
+    in
+    let failures =
+      List.filter_map
+        (fun ((cfg : Config.t), fast, _, _) ->
+          match baseline_ns cfg.Config.abbrev with
+          | Some base when fast > base *. 1.2 ->
+            Some
+              (Printf.sprintf "%s: %.0f ns/block > baseline %.0f x 1.2"
+                 cfg.Config.abbrev fast base)
+          | _ -> None)
+        rows
+    in
+    match failures with
+    | [] -> Printf.printf "perf gate passed against %s\n" baseline_path
+    | fs -> raise (Perf_regression (String.concat "; " fs))
+  end

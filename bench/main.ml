@@ -15,6 +15,7 @@ let experiments =
     "microbench", Experiments.microbench;
     "engine", Experiments.engine_bench;
     "obs", Experiments.obs_bench;
+    "perf", Experiments.perf;
     "ablations", Experiments.ablations;
     "region", Experiments.region;
     "notion", Experiments.notion ]

@@ -750,8 +750,8 @@ let check_cmd =
   in
   let only_arg =
     let doc =
-      "Analyzer family to run (repeatable; config, tables, codec, model; \
-       default: all)."
+      "Analyzer family to run (repeatable; config, tables, codec, model, \
+       flat; default: all)."
     in
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"FAMILY" ~doc)
   in
@@ -764,8 +764,10 @@ let check_cmd =
          port mappings, latencies for every enumerated mnemonic and \
          operand shape), the encoder/decoder pair (round-trip identity, \
          layout metadata, prefix and LCP byte-level assumptions, opcode \
-         table liveness), and the throughput model's combination \
-         invariants on a seeded generated corpus.";
+         table liveness), the throughput model's combination \
+         invariants on a seeded generated corpus, and the flattened \
+         form-indexed tables (exhaustive equivalence with the \
+         hand-written descriptor logic on every form and arch).";
       `P
         "Findings carry a stable rule id (catalogued in DESIGN.md \
          section 10) and a severity. Exit status is 10 (check_failed) \

@@ -1,4 +1,4 @@
-(* Aggregator for the four analyzer families.  `facile check` and the
+(* Aggregator for the five analyzer families.  `facile check` and the
    `@check` build alias both come through [run_all]; the summary and
    JSON encodings live here so the CLI stays a thin shell. *)
 
@@ -15,11 +15,20 @@ let analyzers =
   [ "config", (fun cfgs -> Config_lint.run ~cfgs ());
     "tables", (fun cfgs -> Table_check.run ~cfgs ());
     "codec", (fun _ -> Codec_check.run ());
-    "model", (fun cfgs -> Model_check.run ~cfgs ()) ]
+    "model", (fun cfgs -> Model_check.run ~cfgs ());
+    "flat", (fun cfgs -> Flat_check.run ~cfgs ()) ]
 
 let analyzer_names = List.map fst analyzers
 
 let run_all ?(cfgs = Config.all) ?(families = analyzer_names) () =
+  (match List.filter (fun f -> not (List.mem_assoc f analyzers)) families with
+   | [] -> ()
+   | bad ->
+     invalid_arg
+       (Printf.sprintf "Check.run_all: unknown analyzer famil%s %s (valid: %s)"
+          (if List.length bad = 1 then "y" else "ies")
+          (String.concat ", " bad)
+          (String.concat ", " analyzer_names)));
   let findings =
     List.concat_map
       (fun (name, f) -> if List.mem name families then f cfgs else [])

@@ -1,0 +1,61 @@
+(* Flat-table equivalence checks, the flt- rule family: the flattened
+   form-indexed tables of [Flat] must serve exactly what [Db.describe]
+   computes, on every enumerated form x every arch.  This is the static
+   half of the equivalence obligation of DESIGN.md section 11 (the
+   dynamic half is the differential qcheck over Genblock corpora in
+   test/test_db.ml). *)
+
+open Facile_x86
+open Facile_uarch
+open Facile_db
+
+let where cfg tag = Printf.sprintf "%s:%s" cfg.Config.abbrev tag
+
+(* Both paths either agree on the descriptor or agree on rejection. *)
+let check_form cfg id =
+  let f = Flat.form id in
+  let ref_d = try Ok (Db.describe cfg f) with Db.Unsupported m -> Error m in
+  let flat_d = try Ok (Flat.describe cfg f) with Db.Unsupported m -> Error m in
+  match ref_d, flat_d with
+  | Ok a, Ok b when a = b -> []
+  | Error _, Error _ -> []
+  | Ok _, Ok _ ->
+    [ Finding.error "flt-mismatch"
+        (where cfg (Inst.to_string f))
+        (Printf.sprintf "form %d: flat descriptor differs from Db.describe"
+           id) ]
+  | Ok _, Error m ->
+    [ Finding.error "flt-mismatch"
+        (where cfg (Inst.to_string f))
+        (Printf.sprintf "form %d: flat rejects (%s) what Db supports" id m) ]
+  | Error m, Ok _ ->
+    [ Finding.error "flt-mismatch"
+        (where cfg (Inst.to_string f))
+        (Printf.sprintf "form %d: flat serves what Db rejects (%s)" id m) ]
+
+let check_cfg cfg =
+  let t = Flat.table cfg in
+  let ambiguous =
+    List.map
+      (fun (a, b) ->
+        Finding.error "flt-ambiguous" (where cfg "table")
+          (Printf.sprintf
+             "forms %d and %d share a shape key but differ in descriptor" a b))
+      t.Flat.ambiguous
+  in
+  let hits = ref 0 and fallbacks = ref 0 in
+  let mismatches =
+    List.concat_map
+      (fun id ->
+        (match Flat.id_of cfg (Flat.form id) with
+         | -1 -> incr fallbacks
+         | _ -> incr hits);
+        check_form cfg id)
+      (List.init Flat.n_forms (fun i -> i))
+  in
+  ambiguous @ mismatches
+  @ [ Finding.info "flt-coverage" (where cfg "table")
+        (Printf.sprintf "%d forms: %d table-served, %d fallback" Flat.n_forms
+           !hits !fallbacks) ]
+
+let run ?(cfgs = Config.all) () = List.concat_map check_cfg cfgs

@@ -1,0 +1,9 @@
+(** Flat-table equivalence analyzer (rule family [flt-]): exhaustively
+    compares [Facile_db.Flat.describe] against [Facile_db.Db.describe]
+    on every enumerated form for each given config, and errors on any
+    descriptor divergence or ambiguous shape key.  See DESIGN.md
+    section 11. *)
+
+open Facile_uarch
+
+val run : ?cfgs:Config.t list -> unit -> Finding.t list

@@ -1,0 +1,87 @@
+(* Domain-local scratch buffers for the prediction hot path.
+
+   Every component predictor used to allocate its working arrays per
+   call; the arena keeps one growable buffer per use site, owned by
+   the domain (so the engine's worker domains never share or race on
+   scratch).  Buffers only grow; callers must treat the contents as
+   garbage on entry and not hold a buffer across a call into another
+   component that uses the same field. *)
+
+type t = {
+  (* Predec: per-16-byte-chunk counters *)
+  mutable predec_last : int array;
+  mutable predec_opc : int array;
+  mutable predec_lcp : int array;
+  (* Dec: per-iteration complex-decoder counts, first-decoder table *)
+  mutable dec_complex : int array;
+  mutable dec_first : int array;
+  (* Ports: deduplicated masks and their pairwise unions *)
+  mutable ports_dedup : Facile_uarch.Port.t array;
+  mutable ports_pairs : Facile_uarch.Port.t array;
+  (* Ports: multiplicity of each deduplicated mask *)
+  mutable ports_cnt : int array;
+  (* Precedence: node-id table (generation-stamped so it needs no
+     per-call clear), flattened per-logical read/write resource codes,
+     write-set bitmasks, and edge-push buffers *)
+  mutable prec_nodes : int array;
+  mutable prec_gen : int array;
+  mutable prec_generation : int;
+  mutable prec_roff : int array;
+  mutable prec_rcode : int array;
+  mutable prec_rlat : int array;
+  mutable prec_woff : int array;
+  mutable prec_wcode : int array;
+  mutable prec_wlo : int array;
+  mutable prec_whi : int array;
+  mutable prec_src : int array;
+  mutable prec_dst : int array;
+  mutable prec_w : float array;
+  mutable prec_cnt : int array;
+  (* Model: the seven component bounds of the current prediction *)
+  vals : float array;
+}
+
+let create () =
+  { predec_last = [||];
+    predec_opc = [||];
+    predec_lcp = [||];
+    dec_complex = [||];
+    dec_first = [||];
+    ports_dedup = [||];
+    ports_pairs = [||];
+    ports_cnt = [||];
+    prec_nodes = [||];
+    prec_gen = [||];
+    prec_generation = 0;
+    prec_roff = [||];
+    prec_rcode = [||];
+    prec_rlat = [||];
+    prec_woff = [||];
+    prec_wcode = [||];
+    prec_wlo = [||];
+    prec_whi = [||];
+    prec_src = [||];
+    prec_dst = [||];
+    prec_w = [||];
+    prec_cnt = [||];
+    vals = Array.make 7 0.0 }
+
+let key = Domain.DLS.new_key create
+
+let get () = Domain.DLS.get key
+
+(* Round the requested size up so repeated growth is amortized. *)
+let cap n =
+  let c = ref 16 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let ints buf n = if Array.length buf >= n then buf else Array.make (cap n) 0
+
+let ports buf n =
+  if Array.length buf >= n then buf
+  else Array.make (cap n) Facile_uarch.Port.empty
+
+let floats buf n = if Array.length buf >= n then buf else Array.make (cap n) 0.0

@@ -1,0 +1,46 @@
+(** Domain-local scratch buffers for the prediction hot path.
+
+    Each component predictor owns a few named growable buffers here
+    instead of allocating working arrays per call; the arena is
+    per-domain (via [Domain.DLS]), so the engine's worker domains never
+    share scratch. Buffers only grow and their contents are garbage on
+    entry; a caller must not hold one across a call into another
+    component that uses the same field. *)
+
+type t = {
+  mutable predec_last : int array;
+  mutable predec_opc : int array;
+  mutable predec_lcp : int array;
+  mutable dec_complex : int array;
+  mutable dec_first : int array;
+  mutable ports_dedup : Facile_uarch.Port.t array;
+  mutable ports_pairs : Facile_uarch.Port.t array;
+  mutable ports_cnt : int array;
+  mutable prec_nodes : int array;
+  mutable prec_gen : int array;
+  mutable prec_generation : int;
+  mutable prec_roff : int array;
+  mutable prec_rcode : int array;
+  mutable prec_rlat : int array;
+  mutable prec_woff : int array;
+  mutable prec_wcode : int array;
+  mutable prec_wlo : int array;
+  mutable prec_whi : int array;
+  mutable prec_src : int array;
+  mutable prec_dst : int array;
+  mutable prec_w : float array;
+  mutable prec_cnt : int array;
+  vals : float array;  (** the seven component bounds, see {!Model} *)
+}
+
+(** The current domain's arena. *)
+val get : unit -> t
+
+(** [ints buf n] ([ports buf n], [floats buf n]) is [buf] if it already
+    holds [n] elements, else a fresh larger buffer; the caller stores
+    the result back into the arena field it came from. Contents are
+    unspecified. *)
+val ints : int array -> int -> int array
+
+val ports : Facile_uarch.Port.t array -> int -> Facile_uarch.Port.t array
+val floats : float array -> int -> float array

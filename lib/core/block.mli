@@ -37,12 +37,44 @@ type logical = {
   loads : bool;
 }
 
+(** The flattened view of the block, decoded once at build time: plain
+    arrays of everything the component predictors read per logical
+    instruction ([l_*]), per raw entry ([e_*]), plus block-level
+    precomputed facts. The hot path indexes these instead of walking
+    [entries]/[logicals].
+
+    [flat] mirrors the lists except for per-logical latency, which
+    {!Precedence} re-reads from [logicals] so that ablation blocks built
+    with [{ b with logicals }] (perturbed latencies) stay correct. *)
+type flat = {
+  l_fused : int array;  (** fused-domain µops per logical *)
+  l_complex : bool array;  (** needs the complex decoder *)
+  l_avail : int array;  (** simple decoders available alongside *)
+  l_branch : bool array;
+  l_mfused : bool array;  (** macro-fused pair *)
+  l_addr_mask : int array;  (** GPR bitmask of load-address registers *)
+  port_masks : Port.t array;
+      (** port sets of all dispatched µops of non-eliminated logicals,
+          empty sets dropped — the [Ports] component's input *)
+  e_last : int array;  (** per entry: offset of its last byte *)
+  e_opc : int array;  (** per entry: nominal opcode offset *)
+  e_lcp : bool array;  (** per entry: has a length-changing prefix *)
+  tot_fused : int;
+  tot_issued : int;
+  ends_branch : bool;
+  jcc_affected : bool;
+  form_sig : int;
+      (** order-sensitive hash of the form ids ({!Facile_db.Flat}) of
+          the block's instructions — a cheap memo-key discriminator *)
+}
+
 type t = {
   cfg : Config.t;
   entries : entry list;
   logicals : logical list;
   bytes : string;
   len : int;  (** block length in bytes *)
+  flat : flat;  (** flattened hot-path view, see {!flat} *)
 }
 
 (** [of_instructions cfg insts] encodes and analyzes a block.
@@ -68,3 +100,16 @@ val issued_uops : t -> int
     or end on a 32-byte boundary? Only meaningful when
     [cfg.jcc_erratum] holds. *)
 val jcc_erratum_affected : t -> bool
+
+(** The block's form-id signature (see {!flat.form_sig}). *)
+val form_sig : t -> int
+
+(** Reference (pre-flattening) spellings of the block accessors: list
+    walks kept for differential tests and for timing the pre-PR inner
+    loop in the perf bench. Semantically identical to the array-backed
+    accessors above. *)
+
+val ends_in_branch_ref : t -> bool
+val fused_uops_ref : t -> int
+val issued_uops_ref : t -> int
+val jcc_erratum_affected_ref : t -> bool

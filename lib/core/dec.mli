@@ -11,6 +11,15 @@
 
 val throughput : Block.t -> float
 
+(** [throughput] with the caller's arena (the model threads one arena
+    through all components of a prediction). *)
+val throughput_in : Arena.t -> Block.t -> float
+
 (** The SimpleDec baseline: [max (n / #decoders) c] where [c] is the
     number of instructions requiring the complex decoder. *)
 val simple : Block.t -> float
+
+(** Reference (pre-flattening) implementation: logical-list walk with
+    per-call scratch allocation. Identical results to {!throughput};
+    kept for differential tests and the perf bench. *)
+val throughput_ref : Block.t -> float

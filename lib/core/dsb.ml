@@ -1,10 +1,12 @@
 open Facile_uarch
 
-let throughput (b : Block.t) =
-  let n = Block.fused_uops b in
+let of_fused (b : Block.t) n =
   if n = 0 then 0.0
   else begin
     let w = b.Block.cfg.Config.dsb_width in
     if b.Block.len < 32 then float_of_int ((n + w - 1) / w)
     else float_of_int n /. float_of_int w
   end
+
+let throughput (b : Block.t) = of_fused b (Block.fused_uops b)
+let throughput_ref (b : Block.t) = of_fused b (Block.fused_uops_ref b)

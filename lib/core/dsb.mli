@@ -4,3 +4,7 @@
     from the same 32-byte window can be delivered in the same cycle). *)
 
 val throughput : Block.t -> float
+
+(** Same bound from the reference (list-fold) µop count; kept for the
+    perf bench's pre-flattening lane. *)
+val throughput_ref : Block.t -> float

@@ -1,5 +1,7 @@
 open Facile_uarch
 
-let throughput (b : Block.t) =
-  let n = Block.issued_uops b in
+let of_issued (b : Block.t) n =
   float_of_int n /. float_of_int b.Block.cfg.Config.issue_width
+
+let throughput (b : Block.t) = of_issued b (Block.issued_uops b)
+let throughput_ref (b : Block.t) = of_issued b (Block.issued_uops_ref b)

@@ -2,3 +2,7 @@
     unlamination, divided by the issue width. *)
 
 val throughput : Block.t -> float
+
+(** Same bound from the reference (list-fold) µop count; kept for the
+    perf bench's pre-flattening lane. *)
+val throughput_ref : Block.t -> float

@@ -1,11 +1,14 @@
 open Facile_uarch
 
-let applicable (b : Block.t) =
-  b.Block.cfg.Config.lsd_enabled
-  && Block.fused_uops b <= b.Block.cfg.Config.idq_size
+let applicable_of_fused (b : Block.t) n =
+  b.Block.cfg.Config.lsd_enabled && n <= b.Block.cfg.Config.idq_size
 
-let throughput (b : Block.t) =
-  let n = Block.fused_uops b in
+let applicable (b : Block.t) = applicable_of_fused b (Block.fused_uops b)
+
+let applicable_ref (b : Block.t) =
+  applicable_of_fused b (Block.fused_uops_ref b)
+
+let of_fused (b : Block.t) n =
   if n = 0 then 0.0
   else begin
     let cfg = b.Block.cfg in
@@ -13,3 +16,6 @@ let throughput (b : Block.t) =
     let u = Config.lsd_unroll cfg n in
     float_of_int (((n * u) + i - 1) / i) /. float_of_int u
   end
+
+let throughput (b : Block.t) = of_fused b (Block.fused_uops b)
+let throughput_ref (b : Block.t) = of_fused b (Block.fused_uops_ref b)

@@ -8,3 +8,9 @@ val throughput : Block.t -> float
 (** Whether the LSD applies to this block: enabled on the µarch and the
     loop's fused µops fit in the IDQ. *)
 val applicable : Block.t -> bool
+
+(** Reference (list-fold µop count) spellings; kept for the perf
+    bench's pre-flattening lane. *)
+val throughput_ref : Block.t -> float
+
+val applicable_ref : Block.t -> bool

@@ -34,25 +34,133 @@ type prediction = {
   fe_path : fe_path;
 }
 
-(* Raw value of every component for the given execution mode. *)
-let raw_values variant mode (b : Block.t) =
+(* The components as bit positions: the hot path represents component
+   sets as int masks and component values as the arena's 7-slot float
+   array, indexed in [all_components] order. *)
+let component_index = function
+  | Predec -> 0
+  | Dec -> 1
+  | LSD -> 2
+  | DSB -> 3
+  | Issue -> 4
+  | Ports -> 5
+  | Precedence -> 6
+
+let component_bit c = 1 lsl component_index c
+
+let mask_of = List.fold_left (fun m c -> m lor component_bit c) 0
+
+(* Fill the arena's value slots for the given execution mode, threading
+   the arena through every component that uses scratch buffers. *)
+let fill_values (a : Arena.t) variant mode b =
+  let vals = a.Arena.vals in
+  vals.(0) <-
+    (if variant.simple_predec then Predec.simple b
+     else Predec.throughput_in a ~mode b);
+  vals.(1) <-
+    (if variant.simple_dec then Dec.simple b else Dec.throughput_in a b);
+  vals.(2) <- Lsd.throughput b;
+  vals.(3) <- Dsb.throughput b;
+  vals.(4) <- Issue.throughput b;
+  vals.(5) <- Ports.throughput_in a b;
+  vals.(6) <- Precedence.throughput b
+
+(* Mask-based combine: same max / bottleneck / reporting semantics as
+   the reference list pipeline below, without its per-candidate
+   [List.map]s — the only allocations left are the two constant-size
+   lists of the returned prediction. *)
+let combine_masks variant (vals : float array) candidates fe_path =
+  let considered =
+    match variant.only with
+    | Some comps -> mask_of comps
+    | None -> candidates land lnot (mask_of variant.without)
+  in
+  let ideal = mask_of variant.idealized in
+  let value i = if ideal land (1 lsl i) <> 0 then 0.0 else vals.(i) in
+  let cycles = ref 0.0 in
+  for i = 0 to 6 do
+    if considered land (1 lsl i) <> 0 then cycles := Float.max !cycles (value i)
+  done;
+  let cycles = !cycles in
+  let bottlenecks =
+    List.filter_map
+      (fun c ->
+        let i = component_index c in
+        if
+          considered land (1 lsl i) <> 0
+          && cycles > 0.0
+          && abs_float (value i -. cycles) < 1e-9
+        then Some c
+        else None)
+      all_components
+  in
+  (* report values after idealization too: [bottlenecks] and [cycles]
+     are computed on idealized bounds, so reporting the raw ones would
+     print a component table in which no entry equals [cycles] *)
+  let values =
+    List.map (fun c -> (c, value (component_index c))) all_components
+  in
+  { cycles; bottlenecks; values; fe_path }
+
+(* Throughput notion: TP_U (unrolled), TP_L (loop), or pick from the
+   block's final instruction, the paper's §3.1 convention. *)
+type notion = U | L | Auto
+
+let unrolled_candidates = mask_of [ Predec; Dec; Issue; Ports; Precedence ]
+let be_candidates = mask_of [ Issue; Ports; Precedence ]
+
+let unrolled variant b =
+  let a = Arena.get () in
+  fill_values a variant `Unrolled b;
+  combine_masks variant a.Arena.vals unrolled_candidates FE_none
+
+let looped variant b =
+  let a = Arena.get () in
+  fill_values a variant `Loop b;
+  let cfg = b.Block.cfg in
+  let fe_candidates, fe_path =
+    if cfg.Config.jcc_erratum && Block.jcc_erratum_affected b then
+      (mask_of [ Predec; Dec ], FE_decoders)
+    else if Lsd.applicable b then (component_bit LSD, FE_lsd)
+    else (component_bit DSB, FE_dsb)
+  in
+  combine_masks variant a.Arena.vals (fe_candidates lor be_candidates) fe_path
+
+(* The single prediction entry point; every surface (CLI, engine,
+   bench, serve) goes through here. *)
+let predict ?(variant = default) ?(notion = Auto) b =
+  match notion with
+  | U -> unrolled variant b
+  | L -> looped variant b
+  | Auto ->
+    if Block.ends_in_branch b then looped variant b else unrolled variant b
+
+(* ----- reference pipeline ----------------------------------------- *)
+(* The pre-flattening model, verbatim: list-based component values and
+   the [List.map]-per-candidate combine. [predict_reference] must equal
+   [predict] on every block (property-tested); the perf bench times it
+   as the pre-PR inner loop. *)
+
+let raw_values_ref variant mode (b : Block.t) =
   let predec =
     if variant.simple_predec then Predec.simple b
-    else Predec.throughput ~mode b
+    else Predec.throughput_ref ~mode b
   in
-  let dec = if variant.simple_dec then Dec.simple b else Dec.throughput b in
+  let dec =
+    if variant.simple_dec then Dec.simple b else Dec.throughput_ref b
+  in
   [ Predec, predec;
     Dec, dec;
-    LSD, Lsd.throughput b;
-    DSB, Dsb.throughput b;
-    Issue, Issue.throughput b;
-    Ports, Ports.throughput b;
-    Precedence, Precedence.throughput b ]
+    LSD, Lsd.throughput_ref b;
+    DSB, Dsb.throughput_ref b;
+    Issue, Issue.throughput_ref b;
+    Ports, Ports.throughput_ref b;
+    Precedence, Precedence.throughput_ref b ]
 
 let apply_idealized variant (c, v) =
   if List.mem c variant.idealized then (c, 0.0) else (c, v)
 
-let combine variant values candidates fe_path =
+let combine_ref variant values candidates fe_path =
   let considered =
     match variant.only with
     | Some comps -> List.filter (fun (c, _) -> List.mem c comps) values
@@ -74,41 +182,35 @@ let combine variant values candidates fe_path =
         | _ -> None)
       all_components
   in
-  (* report values after idealization too: [bottlenecks] and [cycles]
-     are computed on idealized bounds, so reporting the raw ones would
-     print a component table in which no entry equals [cycles] *)
   let values = List.map (apply_idealized variant) values in
   { cycles; bottlenecks; values; fe_path }
 
-(* Throughput notion: TP_U (unrolled), TP_L (loop), or pick from the
-   block's final instruction, the paper's §3.1 convention. *)
-type notion = U | L | Auto
+let unrolled_ref variant b =
+  let values = raw_values_ref variant `Unrolled b in
+  combine_ref variant values [ Predec; Dec; Issue; Ports; Precedence ] FE_none
 
-let unrolled variant b =
-  let values = raw_values variant `Unrolled b in
-  combine variant values [ Predec; Dec; Issue; Ports; Precedence ] FE_none
-
-let looped variant b =
-  let values = raw_values variant `Loop b in
+let looped_ref variant b =
+  let values = raw_values_ref variant `Loop b in
   let cfg = b.Block.cfg in
   let fe_candidates, fe_path =
-    if cfg.Config.jcc_erratum && Block.jcc_erratum_affected b then
+    if cfg.Config.jcc_erratum && Block.jcc_erratum_affected_ref b then
       ([ Predec; Dec ], FE_decoders)
-    else if Lsd.applicable b then ([ LSD ], FE_lsd)
+    else if Lsd.applicable_ref b then ([ LSD ], FE_lsd)
     else ([ DSB ], FE_dsb)
   in
-  combine variant values
+  combine_ref variant values
     (fe_candidates @ [ Issue; Ports; Precedence ])
     fe_path
 
-(* The single prediction entry point; every surface (CLI, engine,
-   bench, serve) goes through here. *)
-let predict ?(variant = default) ?(notion = Auto) b =
+let predict_reference ?(variant = default) ?(notion = Auto) b =
   match notion with
-  | U -> unrolled variant b
-  | L -> looped variant b
+  | U -> unrolled_ref variant b
+  | L -> looped_ref variant b
   | Auto ->
-    if Block.ends_in_branch b then looped variant b else unrolled variant b
+    if Block.ends_in_branch_ref b then looped_ref variant b
+    else unrolled_ref variant b
+
+(* ------------------------------------------------------------------ *)
 
 (* Deprecated spellings, kept as thin wrappers so existing callers and
    published snippets keep compiling; prefer [predict ~notion]. *)
@@ -136,16 +238,32 @@ let fe_path_name = function
   | FE_dsb -> "dsb"
   | FE_none -> "none"
 
+(* Every float a prediction serializes must be finite: [Json.float_repr]
+   would otherwise emit "null" and clients would see a silently missing
+   value. A non-finite bound here means a model invariant broke, so
+   fail loudly with the typed error instead. *)
+let finite name v =
+  if Float.is_finite v then v
+  else
+    raise
+      (Facile_x86.Err.Error
+         (Facile_x86.Err.v Facile_x86.Err.Internal
+            (Printf.sprintf "non-finite %s in prediction: %h" name v)))
+
 (* The one JSON encoding of a prediction.  `facile predict --json`,
    `facile batch --json`, and `facile serve` all call this, so the
    three surfaces cannot drift in field names. *)
 let prediction_to_json (p : prediction) : Facile_obs.Json.t =
   let open Facile_obs in
   Json.Obj
-    [ "cycles", Json.Float p.cycles;
+    [ "cycles", Json.Float (finite "cycles" p.cycles);
       "bottlenecks",
       Json.Arr (List.map (fun c -> Json.Str (component_name c)) p.bottlenecks);
       "values",
       Json.Obj
-        (List.map (fun (c, v) -> (component_name c, Json.Float v)) p.values);
+        (List.map
+           (fun (c, v) ->
+             let name = component_name c in
+             (name, Json.Float (finite name v)))
+           p.values);
       "fe_path", Json.Str (fe_path_name p.fe_path) ]

@@ -47,6 +47,13 @@ type notion = U | L | Auto
     [notion] defaults to [Auto]. *)
 val predict : ?variant:variant -> ?notion:notion -> Block.t -> prediction
 
+(** The pre-flattening model pipeline, verbatim: list-based component
+    values (the [_ref] component spellings) and the list-based combine.
+    Equal to {!predict} on every block — property-tested — and timed by
+    the perf bench as the pre-PR inner loop. *)
+val predict_reference :
+  ?variant:variant -> ?notion:notion -> Block.t -> prediction
+
 (** [predict_u b] is [predict ~notion:U b].
     @deprecated use [predict ~notion:U]. *)
 val predict_u : ?variant:variant -> Block.t -> prediction
@@ -68,5 +75,8 @@ val fe_path_name : fe_path -> string
 
 (** The one JSON encoding of a prediction, shared by
     [facile predict --json], [facile batch --json], and
-    [facile serve] so the three surfaces cannot drift. *)
+    [facile serve] so the three surfaces cannot drift.
+    @raise Facile_x86.Err.Error with kind [Internal] if any float in
+    the prediction is non-finite (a broken model invariant; emitting it
+    would produce a silently null JSON value). *)
 val prediction_to_json : prediction -> Facile_obs.Json.t

@@ -10,6 +10,16 @@ open Facile_uarch
 
 val throughput : Block.t -> float
 
+(** [throughput] with the caller's arena (the model threads one arena
+    through all components of a prediction). *)
+val throughput_in : Arena.t -> Block.t -> float
+
+(** Reference (pre-flattening) implementation: the list pipeline over
+    [uop_masks]. Identical results to {!throughput} (the bound is the
+    maximum over the same set of port combinations); kept for
+    differential tests and the perf bench. *)
+val throughput_ref : Block.t -> float
+
 (** The port combination achieving the bound, with its µop count —
     the interpretable feedback for a Ports bottleneck. *)
 val critical_combination : Block.t -> (Port.t * int) option

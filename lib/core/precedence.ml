@@ -114,7 +114,228 @@ let graph = build
 
 let span = Facile_obs.Obs.histogram "model.precedence"
 
+(* ------------------------------------------------------------------ *)
+(* Fast path: the same graph, built without labels, without the
+   polymorphic node-key hashtable and without edge lists.
+
+   Node identity is the integer [((i * n_res) + res_code r) * 2 + dir]
+   resolved through a flat arena table; [res_code] is injective on
+   resources (Flags, every width x GPR, every XMM/YMM register), so the
+   node table is exactly the reference hashtable. Nodes are discovered
+   and edges pushed in the reference order, and the push buffer is
+   reversed before the Howard run because the reference build adds its
+   accumulated edge list in reverse push order — [Cycle_ratio.howard_flat]
+   therefore sees bit-identical input and returns bit-identical floats.
+
+   Latency is read from [b.logicals] (not from [Block.flat]) on purpose:
+   ablation baselines perturb latencies via [{ b with logicals }]. *)
+
+let n_res = 97
+
+let res_code = function
+  | Semantics.Flags -> 0
+  | Semantics.Reg (Register.Gpr (w, g)) ->
+    let wi =
+      match w with
+      | Register.W8 -> 0
+      | Register.W16 -> 1
+      | Register.W32 -> 2
+      | Register.W64 -> 3
+    in
+    1 + (wi * 16) + Register.gpr_index g
+  | Semantics.Reg (Register.Xmm n) -> 65 + n
+  | Semantics.Reg (Register.Ymm n) -> 81 + n
+
+(* Is [r] a load-address register of the logical with GPR mask [mask]?
+   Address resources are always full-width GPRs. *)
+let in_addr mask = function
+  | Semantics.Reg (Register.Gpr (Register.W64, g)) ->
+    mask land (1 lsl Register.gpr_index g) <> 0
+  | _ -> false
+
 let throughput b =
+  Facile_obs.Obs.timed span @@ fun () ->
+  let logicals = b.Block.logicals in
+  let n = List.length logicals in
+  if n = 0 then 0.0
+  else begin
+    let a = Arena.get () in
+    let load_lat = b.Block.cfg.Facile_uarch.Config.load_latency in
+    let amask = b.Block.flat.Block.l_addr_mask in
+    (* Pre-pass: flatten every logical's reads and writes to resource
+       codes (reads with their load-latency-adjusted edge weight) and
+       build per-logical write-set bitmasks, so the two edge passes
+       below run on ints only. *)
+    let total_r = ref 0 and total_w = ref 0 in
+    List.iter
+      (fun (l : Block.logical) ->
+        total_r := !total_r + List.length l.Block.reads;
+        total_w := !total_w + List.length l.Block.writes)
+      logicals;
+    let roff = Arena.ints a.Arena.prec_roff (n + 1) in
+    a.Arena.prec_roff <- roff;
+    let rcode = Arena.ints a.Arena.prec_rcode (max !total_r 1) in
+    a.Arena.prec_rcode <- rcode;
+    let rlat = Arena.ints a.Arena.prec_rlat (max !total_r 1) in
+    a.Arena.prec_rlat <- rlat;
+    let woff = Arena.ints a.Arena.prec_woff (n + 1) in
+    a.Arena.prec_woff <- woff;
+    let wcode = Arena.ints a.Arena.prec_wcode (max !total_w 1) in
+    a.Arena.prec_wcode <- wcode;
+    let wlo = Arena.ints a.Arena.prec_wlo n in
+    a.Arena.prec_wlo <- wlo;
+    let whi = Arena.ints a.Arena.prec_whi n in
+    a.Arena.prec_whi <- whi;
+    let nr = ref 0 and nw = ref 0 in
+    List.iteri
+      (fun i (l : Block.logical) ->
+        roff.(i) <- !nr;
+        woff.(i) <- !nw;
+        let mask = amask.(i) in
+        List.iter
+          (fun r ->
+            rcode.(!nr) <- res_code r;
+            rlat.(!nr) <-
+              l.Block.latency + (if in_addr mask r then load_lat else 0);
+            incr nr)
+          l.Block.reads;
+        let lo = ref 0 and hi = ref 0 in
+        List.iter
+          (fun w ->
+            let c = res_code w in
+            wcode.(!nw) <- c;
+            incr nw;
+            if c < 63 then lo := !lo lor (1 lsl c)
+            else hi := !hi lor (1 lsl (c - 63)))
+          l.Block.writes;
+        wlo.(i) <- !lo;
+        whi.(i) <- !hi)
+      logicals;
+    roff.(n) <- !nr;
+    woff.(n) <- !nw;
+    (* Node ids through the generation-stamped table: a slot is valid
+       only when its stamp equals this call's generation, so the table
+       never needs clearing. *)
+    let gen = a.Arena.prec_generation + 1 in
+    a.Arena.prec_generation <- gen;
+    let ntab = n * n_res * 2 in
+    let nodes = Arena.ints a.Arena.prec_nodes ntab in
+    a.Arena.prec_nodes <- nodes;
+    let stamps = Arena.ints a.Arena.prec_gen ntab in
+    a.Arena.prec_gen <- stamps;
+    let counter = ref 0 in
+    let node i rc dir =
+      let k = (((i * n_res) + rc) * 2) + dir in
+      if stamps.(k) = gen then nodes.(k)
+      else begin
+        let id = !counter in
+        incr counter;
+        stamps.(k) <- gen;
+        nodes.(k) <- id;
+        id
+      end
+    in
+    let m = ref 0 in
+    let grow_edges () =
+      let c = max 64 (2 * Array.length a.Arena.prec_src) in
+      let ns = Array.make c 0 in
+      Array.blit a.Arena.prec_src 0 ns 0 !m;
+      a.Arena.prec_src <- ns;
+      let nd = Array.make c 0 in
+      Array.blit a.Arena.prec_dst 0 nd 0 !m;
+      a.Arena.prec_dst <- nd;
+      let nw = Array.make c 0.0 in
+      Array.blit a.Arena.prec_w 0 nw 0 !m;
+      a.Arena.prec_w <- nw;
+      let nc = Array.make c 0 in
+      Array.blit a.Arena.prec_cnt 0 nc 0 !m;
+      a.Arena.prec_cnt <- nc
+    in
+    (* [push] takes the weight as an int so no boxed float crosses the
+       closure boundary (all edge weights are integral latencies) *)
+    let push src dst wi c =
+      if !m >= Array.length a.Arena.prec_src then grow_edges ();
+      let k = !m in
+      a.Arena.prec_src.(k) <- src;
+      a.Arena.prec_dst.(k) <- dst;
+      a.Arena.prec_w.(k) <- float_of_int wi;
+      a.Arena.prec_cnt.(k) <- c;
+      incr m
+    in
+    (* intra-instruction edges (see [build] for the load-latency rule) *)
+    for i = 0 to n - 1 do
+      for ri = roff.(i) to roff.(i + 1) - 1 do
+        let src = node i rcode.(ri) 0 in
+        let w = rlat.(ri) in
+        for wi = woff.(i) to woff.(i + 1) - 1 do
+          push src (node i wcode.(wi) 1) w 0
+        done
+      done
+    done;
+    (* dependency edges: producer -> consumer. The last-writer scan is
+       a bitmask test against each candidate's write set — [res_code]
+       is injective, so this is exactly the reference [List.mem]. *)
+    let writes_res i blo bhi =
+      (wlo.(i) land blo) lor (whi.(i) land bhi) <> 0
+    in
+    for j = 0 to n - 1 do
+      for ri = roff.(j) to roff.(j + 1) - 1 do
+        let rc = rcode.(ri) in
+        let blo = if rc < 63 then 1 lsl rc else 0
+        and bhi = if rc < 63 then 0 else 1 lsl (rc - 63) in
+        let i = ref (j - 1) in
+        while !i >= 0 && not (writes_res !i blo bhi) do
+          decr i
+        done;
+        let i, c =
+          if !i >= 0 then (!i, 0)
+          else begin
+            let i = ref (n - 1) in
+            while !i >= 0 && not (writes_res !i blo bhi) do
+              decr i
+            done;
+            (!i, 1)
+          end
+        in
+        if i >= 0 then begin
+          let src = node i rc 1 in
+          let dst = node j rc 0 in
+          push src dst 0 c
+        end
+      done
+    done;
+    (* the reference build adds its accumulated list in reverse push
+       order; mirror that so the Howard run sees identical input *)
+    let mm = !m in
+    let src = a.Arena.prec_src
+    and dst = a.Arena.prec_dst
+    and w = a.Arena.prec_w
+    and cnt = a.Arena.prec_cnt in
+    for k = 0 to (mm / 2) - 1 do
+      let k' = mm - 1 - k in
+      let t = src.(k) in
+      src.(k) <- src.(k');
+      src.(k') <- t;
+      let t = dst.(k) in
+      dst.(k) <- dst.(k');
+      dst.(k') <- t;
+      let t = w.(k) in
+      w.(k) <- w.(k');
+      w.(k') <- t;
+      let t = cnt.(k) in
+      cnt.(k) <- cnt.(k');
+      cnt.(k') <- t
+    done;
+    match
+      Cycle_ratio.howard_flat ~n:!counter ~m:mm ~src ~dst ~weight:w
+        ~count:cnt
+    with
+    | Some r when r > 0.0 -> r
+    | _ -> 0.0
+  end
+
+(* Reference path: labeled hashtable build + list-based Howard. *)
+let throughput_ref b =
   Facile_obs.Obs.timed span @@ fun () ->
   let g, _ = build b in
   match Cycle_ratio.howard g with

@@ -12,5 +12,14 @@
     block start every iteration. *)
 val throughput : mode:[ `Unrolled | `Loop ] -> Block.t -> float
 
+(** [throughput] with the caller's arena (the model threads one arena
+    through all components of a prediction). *)
+val throughput_in : Arena.t -> mode:[ `Unrolled | `Loop ] -> Block.t -> float
+
 (** The SimplePredec baseline: [len / 16]. *)
 val simple : Block.t -> float
+
+(** Reference (pre-flattening) implementation: entry-list walk with
+    per-call counter arrays. Identical results to {!throughput}; kept
+    for differential tests and the perf bench. *)
+val throughput_ref : mode:[ `Unrolled | `Loop ] -> Block.t -> float

@@ -60,3 +60,19 @@ val supported : Config.t -> Inst.t -> bool
 (** [is_zero_idiom inst] recognizes dependency-breaking idioms
     (XOR/SUB/PXOR/XORPS/... of a register with itself). *)
 val is_zero_idiom : Inst.t -> bool
+
+(** The pieces of [describe]'s preamble, exposed for the flat-table
+    compiler ({!Flat}) which must reproduce them bit-for-bit before
+    its array lookup. *)
+
+(** @raise Unsupported when the instruction needs a feature the
+    microarchitecture lacks (FMA/BMI/AVX2 before Haswell). *)
+val check_supported : Config.t -> Inst.t -> unit
+
+(** [is_reg_move_elimination cfg inst] — register-to-register moves
+    eliminated at rename on [cfg]. *)
+val is_reg_move_elimination : Config.t -> Inst.t -> bool
+
+(** The descriptor of a rename-eliminated instruction (1 fused µop,
+    nothing dispatched). *)
+val eliminated_desc : Config.t -> zero_idiom:bool -> t

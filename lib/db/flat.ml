@@ -1,0 +1,366 @@
+(* Flattened per-microarchitecture instruction tables.
+
+   [Db.describe] re-derives a descriptor on every call by matching on
+   the mnemonic and operand shapes.  That match is exactly as large as
+   the instruction set and sits on the hottest path of the model
+   (block analysis calls it once per instruction).  This module
+   compiles the hand-written tables once per microarchitecture into
+   flat int/float arrays indexed by the dense form-id space enumerated
+   by [Forms] (one id per canonical mnemonic x operand-shape), and
+   serves lookups by O(1) array indexing:
+
+     instruction --key--> form id --index--> flat arrays
+
+   The [key] function projects an instruction onto the features
+   [Db.describe] actually distinguishes (mnemonic, memory-operand
+   placement, indexed addressing, ymm width, integer width, immediate
+   placement, register-source count, xmm positions, LEA shape).  Two
+   instructions with the same key are table-equivalent by
+   construction; the build step verifies this on the enumerated forms
+   and the [flat] check family re-verifies it against [Db.describe]
+   exhaustively (555 forms x 9 arches), so the flat path cannot drift
+   from the hand-written source of truth.
+
+   Safety: lookups fall back to [Db.describe] whenever the key misses
+   (an operand shape outside the enumerated space) or the config is
+   not the canonical one for its arch (ablation configs flip feature
+   flags such as [macro_fusion] that are baked into the table).  The
+   fallback is correctness-preserving: slower, never wrong. *)
+
+open Facile_x86
+open Facile_uarch
+
+let n_arches = 9
+
+let arch_index = function
+  | Config.SNB -> 0
+  | Config.IVB -> 1
+  | Config.HSW -> 2
+  | Config.BDW -> 3
+  | Config.SKL -> 4
+  | Config.CLX -> 5
+  | Config.ICL -> 6
+  | Config.TGL -> 7
+  | Config.RKL -> 8
+
+(* The canonical config records of [Config.all], by arch index.  Table
+   lookups are only valid against these exact records: derived configs
+   (e.g. the baselines' de-fused ablations) change fields the table
+   bakes in, so they take the [Db.describe] fallback. *)
+let canonical : Config.t array =
+  let a = Array.make n_arches (List.hd Config.all) in
+  List.iter (fun c -> a.(arch_index c.Config.arch) <- c) Config.all;
+  a
+
+let is_canonical cfg = canonical.(arch_index cfg.Config.arch) == cfg
+
+(* ------------------------------------------------------------------ *)
+(* Shape key: every feature [Db.describe] dispatches on, packed into   *)
+(* one immediate int (mnemonic code * 4096 + 12 feature bits).         *)
+
+let mnem_code : (Inst.mnemonic, int) Hashtbl.t =
+  let h = Hashtbl.create 256 in
+  List.iteri (fun i mn -> Hashtbl.add h mn i) Inst.all_mnemonics;
+  h
+
+let n_key_bits = 12
+
+(* Mirrors [Db.int_width]: width of the first GPR or memory operand. *)
+let int_width_code (ops : Operand.t list) =
+  let rec go = function
+    | [] -> 3
+    | Operand.Reg (Register.Gpr (w, _)) :: _ ->
+      (match w with
+       | Register.W8 -> 0
+       | Register.W16 -> 1
+       | Register.W32 -> 2
+       | Register.W64 -> 3)
+    | Operand.Mem m :: _ ->
+      (match m.Operand.width with 1 -> 0 | 2 -> 1 | 4 -> 2 | _ -> 3)
+    | _ :: rest -> go rest
+  in
+  go ops
+
+let key (i : Inst.t) =
+  let mc =
+    match Hashtbl.find_opt mnem_code i.Inst.mnem with
+    | Some c -> c
+    | None -> assert false (* [all_mnemonics] is exhaustive *)
+  in
+  let ops = i.Inst.ops in
+  let mem_dst = match ops with Operand.Mem _ :: _ -> true | _ -> false in
+  let mem_src =
+    match ops with
+    | _ :: rest ->
+      List.exists (function Operand.Mem _ -> true | _ -> false) rest
+    | [] -> false
+  in
+  let mem_indexed =
+    List.exists
+      (function
+        | Operand.Mem m -> m.Operand.index <> None
+        | _ -> false)
+      ops
+  in
+  let ymm =
+    List.exists
+      (function
+        | Operand.Reg (Register.Ymm _) -> true
+        | Operand.Mem m -> m.Operand.width = 32
+        | _ -> false)
+      ops
+  in
+  let second_imm =
+    match ops with _ :: Operand.Imm _ :: _ -> true | _ -> false
+  in
+  let any_imm =
+    List.exists (function Operand.Imm _ -> true | _ -> false) ops
+  in
+  let reg_sources =
+    List.length
+      (List.filter (function Operand.Reg _ -> true | _ -> false) ops)
+  in
+  let lea3 =
+    i.Inst.mnem = Inst.LEA
+    && List.exists
+         (function
+           | Operand.Mem m ->
+             m.Operand.base <> None && m.Operand.index <> None
+             && m.Operand.disp <> 0
+           | _ -> false)
+         ops
+  in
+  let xmm0 =
+    match ops with Operand.Reg (Register.Xmm _) :: _ -> true | _ -> false
+  in
+  let xmm1 =
+    match ops with
+    | _ :: Operand.Reg (Register.Xmm _) :: _ -> true
+    | _ -> false
+  in
+  let b = ref (int_width_code ops lsl 4) in
+  let set bit cond = if cond then b := !b lor bit in
+  set 1 mem_src;
+  set 2 mem_dst;
+  set 4 mem_indexed;
+  set 8 ymm;
+  set 64 second_imm;
+  set 128 any_imm;
+  set 256 (reg_sources >= 2);
+  set 512 lea3;
+  set 1024 xmm0;
+  set 2048 xmm1;
+  (mc lsl n_key_bits) lor !b
+
+(* ------------------------------------------------------------------ *)
+(* Per-arch table: parallel arrays over the dense form-id space.       *)
+
+let forms : Inst.t array = Array.of_list Forms.all
+let n_forms = Array.length forms
+let form id = forms.(id)
+
+let kind_code = function
+  | Db.Load -> 0
+  | Db.Compute -> 1
+  | Db.Store_addr -> 2
+  | Db.Store_data -> 3
+  | Db.Div_pseudo -> 4
+
+let kind_of_code = function
+  | 0 -> Db.Load
+  | 1 -> Db.Compute
+  | 2 -> Db.Store_addr
+  | 3 -> Db.Store_data
+  | _ -> Db.Div_pseudo
+
+(* Descriptor flag bits, [flags] array. *)
+let f_complex = 1
+let f_eliminated = 2
+let f_zero_idiom = 4
+let f_macro_fusible = 8
+
+type table = {
+  cfg : Config.t;
+  supported : bool array;  (* per form id: [Db.describe] succeeds *)
+  fused : int array;
+  issued : int array;
+  latency : int array;
+  latency_f : float array;  (* float mirror: precedence edge weights *)
+  avail : int array;        (* available_simple_dec *)
+  flags : int array;
+  uop_off : int array;      (* n_forms + 1: offsets into uop_* *)
+  uop_kind : int array;
+  uop_ports : Port.t array;
+  descs : Db.t option array;
+      (* shared descriptor views reconstructed from the arrays above:
+         a table hit returns the same immutable record every time *)
+  slots : (int, int) Hashtbl.t;
+      (* shape key -> representative form id; keys whose forms disagree
+         are left out so such shapes take the describe fallback *)
+  ambiguous : (int * int) list;
+      (* (form id, form id) pairs sharing a key but disagreeing — must
+         stay empty; surfaced as findings by the flat check family *)
+  (* shared eliminated descriptors (depend only on n_decoders) *)
+  elim_zero : Db.t;
+  elim_plain : Db.t;
+}
+
+let desc_of_arrays t id : Db.t option =
+  if not t.supported.(id) then None
+  else
+    let off = t.uop_off.(id) in
+    let len = t.uop_off.(id + 1) - off in
+    Some
+      { Db.fused_uops = t.fused.(id);
+        issued_uops = t.issued.(id);
+        dispatched =
+          List.init len (fun k ->
+              { Db.kind = kind_of_code t.uop_kind.(off + k);
+                ports = t.uop_ports.(off + k) });
+        latency = t.latency.(id);
+        complex_decode = t.flags.(id) land f_complex <> 0;
+        available_simple_dec = t.avail.(id);
+        eliminated = t.flags.(id) land f_eliminated <> 0;
+        zero_idiom = t.flags.(id) land f_zero_idiom <> 0;
+        macro_fusible = t.flags.(id) land f_macro_fusible <> 0 }
+
+let build cfg =
+  let supported = Array.make n_forms false in
+  let fused = Array.make n_forms 0 in
+  let issued = Array.make n_forms 0 in
+  let latency = Array.make n_forms 0 in
+  let latency_f = Array.make n_forms 0.0 in
+  let avail = Array.make n_forms 0 in
+  let flags = Array.make n_forms 0 in
+  let uop_off = Array.make (n_forms + 1) 0 in
+  let kinds = ref [] and ports = ref [] and n_uops = ref 0 in
+  let described = Array.make n_forms None in
+  for id = 0 to n_forms - 1 do
+    uop_off.(id) <- !n_uops;
+    match Db.describe cfg forms.(id) with
+    | exception Db.Unsupported _ -> ()
+    | d ->
+      described.(id) <- Some d;
+      supported.(id) <- true;
+      fused.(id) <- d.Db.fused_uops;
+      issued.(id) <- d.Db.issued_uops;
+      latency.(id) <- d.Db.latency;
+      latency_f.(id) <- float_of_int d.Db.latency;
+      avail.(id) <- d.Db.available_simple_dec;
+      flags.(id) <-
+        (if d.Db.complex_decode then f_complex else 0)
+        lor (if d.Db.eliminated then f_eliminated else 0)
+        lor (if d.Db.zero_idiom then f_zero_idiom else 0)
+        lor (if d.Db.macro_fusible then f_macro_fusible else 0);
+      List.iter
+        (fun (u : Db.uop) ->
+          kinds := kind_code u.Db.kind :: !kinds;
+          ports := u.Db.ports :: !ports;
+          incr n_uops)
+        d.Db.dispatched
+  done;
+  uop_off.(n_forms) <- !n_uops;
+  let uop_kind = Array.of_list (List.rev !kinds) in
+  let uop_ports = Array.of_list (List.rev !ports) in
+  (* key -> representative form id; drop keys whose forms disagree *)
+  let slots = Hashtbl.create (2 * n_forms) in
+  let ambiguous = ref [] in
+  for id = 0 to n_forms - 1 do
+    match described.(id) with
+    | None -> ()
+    | Some d ->
+      let k = key forms.(id) in
+      (match Hashtbl.find_opt slots k with
+       | None -> Hashtbl.add slots k id
+       | Some id0 when described.(id0) = Some d -> ()
+       | Some id0 -> ambiguous := (id0, id) :: !ambiguous)
+  done;
+  List.iter (fun (_, id) -> Hashtbl.remove slots (key forms.(id))) !ambiguous;
+  let t =
+    { cfg; supported; fused; issued; latency; latency_f; avail; flags;
+      uop_off; uop_kind; uop_ports;
+      descs = Array.make n_forms None;
+      slots;
+      ambiguous = !ambiguous;
+      elim_zero = Db.eliminated_desc cfg ~zero_idiom:true;
+      elim_plain = Db.eliminated_desc cfg ~zero_idiom:false }
+  in
+  for id = 0 to n_forms - 1 do
+    t.descs.(id) <- desc_of_arrays t id
+  done;
+  t
+
+(* One table per arch, built on first use.  The publish through the
+   option array is a benign race: a stale [None] read only means taking
+   the mutex and finding the table already built. *)
+let tables : table option array = Array.make n_arches None
+let build_mu = Mutex.create ()
+
+let table cfg =
+  let ai = arch_index cfg.Config.arch in
+  match tables.(ai) with
+  | Some t -> t
+  | None ->
+    Mutex.lock build_mu;
+    let t =
+      match tables.(ai) with
+      | Some t -> t
+      | None ->
+        let t = build canonical.(ai) in
+        tables.(ai) <- Some t;
+        t
+    in
+    Mutex.unlock build_mu;
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+(* Ids reported by [describe_id] for shapes resolved before the table:
+   rename-eliminated cases are decided per call (they depend on exact
+   register identities the key deliberately ignores). *)
+let id_fallback = -1
+let id_zero_idiom = -2
+let id_nop = -3
+let id_mov_elim = -4
+
+let id_of cfg (i : Inst.t) =
+  if not (is_canonical cfg) then id_fallback
+  else if Db.is_zero_idiom i then id_zero_idiom
+  else if i.Inst.mnem = Inst.NOP || i.Inst.mnem = Inst.NOPL then id_nop
+  else if Db.is_reg_move_elimination cfg i then id_mov_elim
+  else
+    let t = table cfg in
+    match Hashtbl.find t.slots (key i) with
+    | id -> id
+    | exception Not_found -> id_fallback
+
+(* The hot describe: preamble in the same order as [Db.describe]
+   (support gate, then the rename-eliminated cases), then the O(1)
+   table hit.  Allocation-free on hits: the returned descriptor is the
+   table's shared view. *)
+let describe_id cfg (i : Inst.t) : Db.t * int =
+  Db.check_supported cfg i;
+  if Db.is_zero_idiom i then
+    ((if is_canonical cfg then (table cfg).elim_zero
+      else Db.eliminated_desc cfg ~zero_idiom:true),
+     id_zero_idiom)
+  else if i.Inst.mnem = Inst.NOP || i.Inst.mnem = Inst.NOPL then
+    ((if is_canonical cfg then (table cfg).elim_plain
+      else Db.eliminated_desc cfg ~zero_idiom:false),
+     id_nop)
+  else if Db.is_reg_move_elimination cfg i then
+    ((if is_canonical cfg then (table cfg).elim_plain
+      else Db.eliminated_desc cfg ~zero_idiom:false),
+     id_mov_elim)
+  else if not (is_canonical cfg) then (Db.describe cfg i, id_fallback)
+  else
+    let t = table cfg in
+    match Hashtbl.find t.slots (key i) with
+    | id ->
+      (match t.descs.(id) with
+       | Some d -> (d, id)
+       | None -> (Db.describe cfg i, id_fallback))
+    | exception Not_found -> (Db.describe cfg i, id_fallback)
+
+let describe cfg i = fst (describe_id cfg i)

@@ -1,0 +1,201 @@
+(* Deterministic enumeration of the mnemonic x operand-shape space.
+
+   One canonical instruction per supported encoding shape of every
+   mnemonic in [Inst.all_mnemonics].  The codec sweep encodes and
+   decodes each form; the table cross-check looks each one up in the
+   instruction DB on every microarchitecture.  A mnemonic for which
+   this module produces no form at all is itself a finding
+   ([tbl-missing-form]) - the enumerator cannot silently fall out of
+   sync with the mnemonic type. *)
+
+open Facile_x86
+
+let gq g = Operand.Reg (Register.Gpr (Register.W64, g))
+let gd g = Operand.Reg (Register.Gpr (Register.W32, g))
+let gw g = Operand.Reg (Register.Gpr (Register.W16, g))
+let gb g = Operand.Reg (Register.Gpr (Register.W8, g))
+let x n = Operand.Reg (Register.Xmm n)
+let y n = Operand.Reg (Register.Ymm n)
+
+let rax = gq Register.RAX
+let rbx = gq Register.RBX
+let eax = gd Register.RAX
+let ebx = gd Register.RBX
+let ax = gw Register.RAX
+let bx = gw Register.RBX
+let al = gb Register.RAX
+let bl = gb Register.RBX
+let cl = gb Register.RCX
+
+(* canonical [rbx+8] memory operand *)
+let m width = Operand.mem ~base:Register.RBX ~disp:8 ~width ()
+
+(* indexed [rbx+rcx*4+8]: exercises SIB and the slow-LEA / unlamination
+   paths *)
+let mi width =
+  Operand.mem ~base:Register.RBX ~index:(Register.RCX, Operand.S4) ~disp:8
+    ~width ()
+
+let i8 = Operand.imm 5
+let i32 = Operand.imm 74565 (* 0x12345: needs the full-width immediate *)
+let i16 = Operand.imm 0x1234 (* 16-bit operand + imm16 -> LCP *)
+
+let mk = Inst.make
+
+(* Canonical memory width of a vector mnemonic (scalar-single 4,
+   scalar-double 8, packed = register width), shared with the decoder
+   so round-trips are exact. *)
+let vw ?(w = false) ?(ymm = false) mn = Inst.vec_mem_width ~w ~ymm mn
+
+let of_mnemonic (mn : Inst.mnemonic) : Inst.t list =
+  let open Inst in
+  match mn with
+  (* ----- integer ALU, full shape matrix ----- *)
+  | ADD | SUB | ADC | SBB | AND | OR | XOR | CMP ->
+    [ mk mn [ rax; rbx ]; mk mn [ eax; ebx ]; mk mn [ ax; bx ];
+      mk mn [ al; bl ]; mk mn [ rax; i8 ]; mk mn [ rax; i32 ];
+      mk mn [ ax; i16 ]; mk mn [ rax; m 8 ]; mk mn [ m 8; rax ];
+      mk mn [ m 4; i8 ]; mk mn [ rax; mi 8 ] ]
+  | MOV ->
+    [ mk mn [ rax; rbx ]; mk mn [ eax; ebx ]; mk mn [ ax; bx ];
+      mk mn [ al; bl ]; mk mn [ rax; i32 ];
+      mk mn [ rax; Operand.Imm 0x1122334455667788L ];
+      mk mn [ eax; i32 ]; mk mn [ ax; i16 ]; mk mn [ al; i8 ];
+      mk mn [ rax; m 8 ]; mk mn [ m 8; rax ]; mk mn [ m 4; i32 ];
+      mk mn [ m 2; i16 ]; mk mn [ eax; mi 4 ]; mk mn [ mi 4; eax ] ]
+  | TEST ->
+    [ mk mn [ rax; rbx ]; mk mn [ rax; i32 ]; mk mn [ ax; i16 ];
+      mk mn [ m 8; rax ] ]
+  | NEG | NOT ->
+    [ mk mn [ rax ]; mk mn [ eax ]; mk mn [ m 4 ] ]
+  | MUL | DIV | IDIV ->
+    [ mk mn [ rax ]; mk mn [ eax ]; mk mn [ m 4 ] ]
+  | INC | DEC ->
+    [ mk mn [ rax ]; mk mn [ eax ]; mk mn [ m 4 ] ]
+  | IMUL ->
+    [ mk mn [ rax; rbx ]; mk mn [ eax; ebx ]; mk mn [ rax; m 8 ];
+      mk mn [ rax; rbx; i8 ]; mk mn [ rax; rbx; i32 ];
+      mk mn [ ax; bx; i16 ] ]
+  | SHL | SHR | SAR | ROL | ROR ->
+    [ mk mn [ rax; i8 ]; mk mn [ eax; i8 ]; mk mn [ rax; cl ];
+      mk mn [ m 4; i8 ] ]
+  | MOVZX | MOVSX ->
+    [ mk mn [ eax; bl ]; mk mn [ eax; bx ]; mk mn [ rax; bl ];
+      mk mn [ eax; m 1 ]; mk mn [ eax; m 2 ] ]
+  | MOVSXD -> [ mk mn [ rax; ebx ]; mk mn [ rax; m 4 ] ]
+  | XCHG -> [ mk mn [ rax; rbx ]; mk mn [ eax; ebx ] ]
+  | BSWAP -> [ mk mn [ rax ]; mk mn [ eax ] ]
+  | PUSH | POP -> [ mk mn [ rax ] ]
+  | BSF | BSR | POPCNT | LZCNT | TZCNT ->
+    [ mk mn [ rax; rbx ]; mk mn [ eax; ebx ]; mk mn [ rax; m 8 ] ]
+  | CDQ | CQO | CWDE | CDQE | NOP | CLC | STC | CMC -> [ mk mn [] ]
+  | NOPL -> [ mk mn [ m 4 ]; mk mn [ m 2 ] ]
+  | SHLD | SHRD ->
+    [ mk mn [ rax; rbx; i8 ]; mk mn [ eax; ebx; i8 ] ]
+  | BT | BTS | BTR | BTC ->
+    [ mk mn [ rax; rbx ]; mk mn [ rax; i8 ]; mk mn [ eax; i8 ] ]
+  | MOVBE ->
+    [ mk mn [ rax; m 8 ]; mk mn [ m 8; rax ]; mk mn [ eax; m 4 ];
+      mk mn [ m 4; eax ] ]
+  | ANDN | BZHI ->
+    [ mk mn [ rax; rbx; gq Register.RCX ];
+      mk mn [ eax; ebx; gd Register.RCX ] ]
+  | SHLX | SHRX | SARX ->
+    [ mk mn [ rax; rbx; gq Register.RCX ];
+      mk mn [ eax; ebx; gd Register.RCX ] ]
+  | JMP -> [ mk mn [ i8 ]; mk mn [ Operand.imm (-1000) ] ]
+  | Jcc _ -> [ mk mn [ i8 ]; mk mn [ Operand.imm (-1000) ] ]
+  | SETcc _ -> [ mk mn [ al ] ]
+  | CMOVcc _ -> [ mk mn [ rax; rbx ]; mk mn [ eax; m 4 ] ]
+  | LEA ->
+    [ mk mn [ rax; Operand.mem ~base:Register.RBX ~disp:8 ~width:8 () ];
+      mk mn [ rax; mi 8 ]; (* 3-component: slow LEA *)
+      mk mn [ eax; Operand.mem ~base:Register.RBX ~width:4 () ] ]
+  (* ----- SSE data movement ----- *)
+  | MOVAPS | MOVUPS | MOVAPD | MOVDQA | MOVDQU ->
+    [ mk mn [ x 1; x 2 ]; mk mn [ x 1; m 16 ]; mk mn [ m 16; x 1 ] ]
+  | MOVSS | MOVSD ->
+    let w = vw mn in
+    [ mk mn [ x 1; x 2 ]; mk mn [ x 1; m w ]; mk mn [ m w; x 1 ] ]
+  | MOVD ->
+    [ mk mn [ x 1; ebx ]; mk mn [ x 1; m 4 ]; mk mn [ m 4; x 1 ] ]
+  | MOVQ ->
+    [ mk mn [ x 1; x 2 ]; mk mn [ x 1; rbx ]; mk mn [ x 1; m 8 ];
+      mk mn [ m 8; x 1 ] ]
+  (* ----- SSE arithmetic / logic / compare: reg and load shapes ----- *)
+  | ADDPS | ADDPD | ADDSS | ADDSD | SUBPS | SUBPD | SUBSS | SUBSD
+  | MULPS | MULPD | MULSS | MULSD | DIVPS | DIVPD | DIVSS | DIVSD
+  | MINPS | MAXPS | MINPD | MAXPD | MINSS | MAXSS | MINSD | MAXSD
+  | SQRTPS | SQRTPD | SQRTSS | SQRTSD
+  | ANDPS | ANDPD | ORPS | XORPS | XORPD | UCOMISS | UCOMISD
+  | HADDPS
+  | PXOR | POR | PAND | PADDB | PADDD | PADDQ | PSUBD
+  | PMULLD | PMULUDQ | PCMPEQB | PCMPEQD | PCMPGTD
+  | PMAXSD | PMINSD | PMAXUB | PMINUB | PSHUFB | PACKSSDW | PUNPCKLDQ
+  | CVTSS2SD | CVTSD2SS | CVTDQ2PS | CVTPS2DQ | CVTTPS2DQ ->
+    [ mk mn [ x 1; x 2 ]; mk mn [ x 1; m (vw mn) ] ]
+  | SHUFPS | PALIGNR | PSHUFD ->
+    [ mk mn [ x 1; x 2; i8 ] ]
+  | ROUNDSD -> [ mk mn [ x 1; x 2; Operand.imm 3 ] ]
+  | UNPCKHPS | UNPCKLPD -> [ mk mn [ x 1; x 2 ] ]
+  | PSLLD | PSRLD | PSLLDQ | PSRLDQ -> [ mk mn [ x 1; i8 ] ]
+  | CVTSI2SD | CVTSI2SS ->
+    [ mk mn [ x 1; ebx ]; mk mn [ x 1; rbx ]; mk mn [ x 1; m 4 ] ]
+  | CVTTSD2SI -> [ mk mn [ ebx; x 1 ]; mk mn [ rbx; x 1 ] ]
+  (* ----- AVX ----- *)
+  | VMOVAPS | VMOVUPS | VMOVDQA | VMOVDQU ->
+    [ mk mn [ x 1; x 2 ]; mk mn [ y 1; y 2 ]; mk mn [ x 1; m 16 ];
+      mk mn [ m 16; x 1 ]; mk mn [ y 1; m 32 ]; mk mn [ m 32; y 1 ] ]
+  | VSQRTPS ->
+    [ mk mn [ x 1; x 2 ]; mk mn [ y 1; y 2 ];
+      mk mn [ x 1; m (vw mn) ] ]
+  | VADDPS | VADDPD | VSUBPS | VMULPS | VMULPD | VDIVPS
+  | VXORPS | VANDPS | VMINPS | VMAXPS ->
+    [ mk mn [ x 1; x 2; x 3 ]; mk mn [ y 1; y 2; y 3 ];
+      mk mn [ x 1; x 2; m (vw mn) ] ]
+  | VPXOR | VPADDD | VPMULLD | VPAND | VPOR ->
+    (* ymm form is AVX2: expected unsupported before Haswell *)
+    [ mk mn [ x 1; x 2; x 3 ]; mk mn [ y 1; y 2; y 3 ] ]
+  | VFMADD231PS | VFMADD231PD | VFMADD132PS | VFMADD213PS ->
+    [ mk mn [ x 1; x 2; x 3 ]; mk mn [ y 1; y 2; y 3 ] ]
+  | VFMADD231SS | VFMADD231SD ->
+    [ mk mn [ x 1; x 2; x 3 ] ]
+
+(* The full enumeration, mnemonic by mnemonic. *)
+let by_mnemonic : (Inst.mnemonic * Inst.t list) list =
+  List.map (fun mn -> (mn, of_mnemonic mn)) Inst.all_mnemonics
+
+let all : Inst.t list = List.concat_map snd by_mnemonic
+
+(* Mnemonics with no enumerated form; must stay empty (proved by the
+   exhaustive match above, re-proved at runtime for mutation tests). *)
+let uncovered () =
+  List.filter_map
+    (fun (mn, forms) -> if forms = [] then Some mn else None)
+    by_mnemonic
+
+(* Feature gate mirrored from the ISA facts (paper Table 1): FMA, BMI,
+   MOVBE and 256-bit integer AVX arrived with Haswell/AVX2.  The table
+   cross-check re-derives this independently of [Db.describe] and
+   flags any disagreement. *)
+let requires_avx2_fma (i : Inst.t) =
+  let open Inst in
+  let fma_or_bmi =
+    match i.mnem with
+    | VFMADD231PS | VFMADD231PD | VFMADD231SS | VFMADD231SD
+    | VFMADD132PS | VFMADD213PS
+    | ANDN | BZHI | SHLX | SHRX | SARX | MOVBE -> true
+    | _ -> false
+  in
+  let avx2_int =
+    (match i.mnem with
+     | VPXOR | VPADDD | VPMULLD | VPAND | VPOR -> true
+     | _ -> false)
+    && List.exists
+         (function
+           | Operand.Reg (Register.Ymm _) -> true
+           | Operand.Mem m -> m.Operand.width = 32
+           | _ -> false)
+         i.ops
+  in
+  fma_or_bmi || avx2_int

@@ -24,7 +24,13 @@ type t = {
   (* memoization of predict/predict_batch: bounded LRU so a serving
      process under endless distinct traffic cannot grow without limit *)
   memoize : bool;
-  memo : (Config.arch * [ `Loop | `Unrolled ] * string, Model.prediction) Lru.t;
+  (* keyed on the block's form signature (cheap int hash of its dense
+     form ids) before the bytes, so most lookups reject on an int
+     compare instead of a string compare *)
+  memo :
+    ( Config.arch * [ `Loop | `Unrolled ] * int * string,
+      Model.prediction )
+    Lru.t;
   memo_mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -169,7 +175,9 @@ let predict pool ~mode b =
   let notion = notion_of_block mode b in
   if not pool.memoize then predict_one notion b
   else begin
-    let key = (b.Block.cfg.Config.arch, notion, b.Block.bytes) in
+    let key =
+      (b.Block.cfg.Config.arch, notion, Block.form_sig b, b.Block.bytes)
+    in
     Mutex.lock pool.memo_mutex;
     let cached = Lru.find pool.memo key in
     (match cached with Some _ -> pool.hits <- pool.hits + 1 | None -> ());
@@ -195,7 +203,10 @@ let predict_batch pool ~mode blocks =
     let keys =
       Array.map
         (fun (b : Block.t) ->
-          (b.Block.cfg.Config.arch, notion_of_block mode b, b.Block.bytes))
+          ( b.Block.cfg.Config.arch,
+            notion_of_block mode b,
+            Block.form_sig b,
+            b.Block.bytes ))
         blocks
     in
     (* consult the cross-batch cache and pick the first occurrence of

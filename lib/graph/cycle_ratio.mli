@@ -14,6 +14,21 @@
     (an infinite ratio — dependence graphs never contain such cycles). *)
 val howard : Digraph.t -> float option
 
+(** [howard_flat ~n ~m ~src ~dst ~weight ~count] is [howard] on a graph
+    given as parallel edge arrays (first [m] entries, in the order the
+    edges would have been [add_edge]d), with all working storage in a
+    domain-local scratch that only grows — the allocation-free spelling
+    used by the Precedence hot path. Iteration orders mirror [howard]
+    exactly, so the two return identical floats on the same graph. *)
+val howard_flat :
+  n:int ->
+  m:int ->
+  src:int array ->
+  dst:int array ->
+  weight:float array ->
+  count:int array ->
+  float option
+
 (** [lawler g] computes the same value by binary search over candidate
     ratios with positive-cycle detection (Bellman-Ford). Slower but
     independent; used to cross-check [howard]. [epsilon] bounds the

@@ -12,14 +12,23 @@ type kind =
   | Too_large     (* input exceeds the configured size limits *)
   | Timeout       (* the request's wall-clock deadline was exceeded *)
   | Check_failed  (* facile check found error-severity findings *)
+  | Internal      (* an internal invariant broke, e.g. a non-finite
+                     value reached a serialization boundary *)
 
 type t = { kind : kind; msg : string; pos : int option }
 
 let v ?pos kind msg = { kind; msg; pos }
 
+(* The typed-error exception: surfaces that cannot return a [result]
+   (deep inside a serializer, for instance) raise this and the CLI /
+   server boundary maps it like any other [t]. *)
+exception Error of t
+
+let raise_err ?pos kind msg = raise (Error (v ?pos kind msg))
+
 let all_kinds =
   [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error;
-    Too_large; Timeout; Check_failed ]
+    Too_large; Timeout; Check_failed; Internal ]
 
 (* stable snake_case names: these are wire protocol, not display text *)
 let kind_name = function
@@ -31,6 +40,7 @@ let kind_name = function
   | Too_large -> "too_large"
   | Timeout -> "timeout"
   | Check_failed -> "check_failed"
+  | Internal -> "internal"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -46,6 +56,7 @@ let exit_code = function
   | Too_large -> 8
   | Timeout -> 9
   | Check_failed -> 10
+  | Internal -> 11
 
 let to_string e =
   match e.pos with

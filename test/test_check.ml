@@ -44,6 +44,27 @@ let test_family_selection () =
       assert_clean r.Check.findings)
     Check.analyzer_names
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* The library entry point must reject unknown family names just like
+   the CLI does (callers embedding the checker get the same contract). *)
+let test_unknown_family () =
+  List.iter
+    (fun fams ->
+      match Check.run_all ~families:fams () with
+      | _ -> Alcotest.failf "run_all accepted %s" (String.concat "," fams)
+      | exception Invalid_argument msg ->
+        List.iter
+          (fun valid ->
+            Alcotest.(check bool)
+              (Printf.sprintf "message lists %s" valid)
+              true (contains msg valid))
+          Check.analyzer_names)
+    [ [ "nosuch" ]; [ "config"; "typo" ]; [ "flat"; "" ] ]
+
 (* ----- config mutations ----- *)
 
 let test_cfg_mutations () =
@@ -236,6 +257,8 @@ let suite =
   [ ( "check",
       [ Alcotest.test_case "shipped tables clean" `Quick test_shipped_clean;
         Alcotest.test_case "family selection" `Quick test_family_selection;
+        Alcotest.test_case "unknown family rejected" `Quick
+          test_unknown_family;
         Alcotest.test_case "config mutations" `Quick test_cfg_mutations;
         Alcotest.test_case "table mutations" `Quick test_tbl_mutations;
         Alcotest.test_case "codec mutations" `Quick test_codec_mutations;

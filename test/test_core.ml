@@ -548,6 +548,83 @@ let engine_tests =
              | exception Failure m ->
                Alcotest.(check string) "original exception" "boom" m))) ]
 
+(* ------------------------------------------------------------------ *)
+(* Flattened hot path: the table-driven, arena-backed pipeline must be
+   bit-identical to the reference (pre-flattening) pipeline, and must
+   stop allocating once the arenas are warm. *)
+
+let qcheck_flat_pipeline =
+  QCheck.Test.make
+    ~name:"predict is bit-identical to predict_reference" ~count:150
+    QCheck.(triple small_nat (int_range 1 10) (int_range 0 7))
+    (fun (seed, len, profile_idx) ->
+      let profiles = Facile_bhive.Genblock.all_profiles in
+      let profile = List.nth profiles (profile_idx mod List.length profiles) in
+      let rng = Facile_bhive.Prng.create (succ seed) in
+      let len = max 1 (min 10 len) in
+      let insts =
+        Facile_bhive.Genblock.body rng profile ~allow_fma:false ~len
+      in
+      let same cfg insts =
+        let b = Block.of_instructions cfg insts in
+        List.for_all
+          (fun notion ->
+            let f = Model.predict ~notion b in
+            let r = Model.predict_reference ~notion b in
+            if f = r then true
+            else
+              QCheck.Test.fail_reportf
+                "fast %h <> reference %h on %s (notion %s)" f.Model.cycles
+                r.Model.cycles cfg.Config.abbrev
+                (match notion with
+                 | Model.U -> "U"
+                 | Model.L -> "L"
+                 | Model.Auto -> "auto"))
+          [ Model.U; Model.L; Model.Auto ]
+      in
+      List.for_all
+        (fun cfg ->
+          same cfg insts && same cfg (Facile_bhive.Genblock.looped insts))
+        [ skl; snb; rkl ])
+
+let flatpath_tests =
+  [ QCheck_alcotest.to_alcotest qcheck_flat_pipeline;
+    Alcotest.test_case "steady-state prediction allocation is constant" `Quick
+      (fun () ->
+        let cases = Facile_bhive.Suite.corpus ~seed:11 ~size:12 () in
+        let blocks =
+          List.map
+            (fun (c : Facile_bhive.Suite.case) ->
+              Block.of_instructions skl c.Facile_bhive.Suite.loop)
+            cases
+        in
+        (* first pass grows every arena buffer to this corpus's sizes *)
+        List.iter (fun b -> ignore (Model.predict b)) blocks;
+        List.iter
+          (fun b ->
+            ignore (Model.predict b);
+            let w0 = Gc.minor_words () in
+            ignore (Model.predict b);
+            let w1 = Gc.minor_words () in
+            ignore (Model.predict b);
+            let w2 = Gc.minor_words () in
+            let d1 = w1 -. w0 and d2 = w2 -. w1 in
+            if not (Float.equal d1 d2) then
+              Alcotest.failf "allocation not steady: %.0f then %.0f words" d1
+                d2;
+            (* the budget: result records and bookkeeping, never
+               per-element scratch (a regression to per-edge boxing or
+               per-call arrays blows well past this) *)
+            if d1 > 4096.0 then
+              Alcotest.failf "allocation budget exceeded: %.0f words" d1)
+          blocks);
+    Alcotest.test_case "form signature is deterministic" `Quick (fun () ->
+        let insts = parse_block "add rax, rbx\nimul rcx, rdx\nnop" in
+        let a = Block.of_instructions skl insts in
+        let b = Block.of_instructions skl insts in
+        Alcotest.(check int) "same insts, same signature" (Block.form_sig a)
+          (Block.form_sig b)) ]
+
 let region_tests =
   [ Alcotest.test_case "single-block region = block prediction" `Quick
       (fun () ->
@@ -601,5 +678,6 @@ let suite =
     "core.model", model_tests;
     "core.invariants", invariant_tests;
     "core.ports.properties", ports_property_tests;
+    "core.flatpath", flatpath_tests;
     "core.engine", engine_tests;
     "core.region", region_tests ]

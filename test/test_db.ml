@@ -188,4 +188,42 @@ let uarch_tests =
         assert (equal (inter p (of_list [ 1; 2 ])) (of_list [ 1 ]));
         Alcotest.(check (list int)) "to_list" [ 0; 1; 5 ] (to_list p)) ]
 
-let suite = [ "db.instructions", db_tests; "db.uarch", uarch_tests ]
+(* Differential check of the flattened form-indexed tables: on random
+   generated instructions (which include register identities and
+   shapes the static form enumeration cannot cover), [Flat.describe]
+   must behave exactly like [Db.describe] on every arch — same
+   descriptor or same rejection.  The exhaustive form x arch sweep
+   lives in the [flat] analyzer family of `facile check`. *)
+let qcheck_flat_differential =
+  QCheck.Test.make ~name:"Flat.describe = Db.describe on generated insts"
+    ~count:300
+    QCheck.(triple small_nat (int_range 1 10) (int_range 0 7))
+    (fun (seed, len, profile_idx) ->
+      let profiles = Facile_bhive.Genblock.all_profiles in
+      let profile = List.nth profiles (profile_idx mod List.length profiles) in
+      let rng = Facile_bhive.Prng.create (succ seed) in
+      let len = max 1 (min 10 len) in
+      let insts =
+        Facile_bhive.Genblock.body rng profile ~allow_fma:false ~len
+      in
+      List.for_all
+        (fun cfg ->
+          List.for_all
+            (fun i ->
+              let ref_d =
+                try Ok (Db.describe cfg i) with Db.Unsupported m -> Error m
+              in
+              let flat_d =
+                try Ok (Flat.describe cfg i) with Db.Unsupported m -> Error m
+              in
+              if ref_d = flat_d then true
+              else
+                QCheck.Test.fail_reportf "flat <> db on %s for %s"
+                  cfg.Config.abbrev (Inst.to_string i))
+            insts)
+        Config.all)
+
+let suite =
+  [ "db.instructions", db_tests;
+    "db.uarch", uarch_tests;
+    "db.flat", [ QCheck_alcotest.to_alcotest qcheck_flat_differential ] ]

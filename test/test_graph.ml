@@ -116,7 +116,45 @@ let monotone =
       | Some _, None -> false
       | Some a, Some b -> b >= a -. 1e-9)
 
+(* The allocation-free array spelling must return bit-identical ratios
+   to the list-based howard when fed the same edges in the same
+   insertion order (the Precedence hot path depends on exactly this). *)
+let flat_agreement =
+  QCheck.Test.make ~name:"howard_flat is bit-identical to howard" ~count:500
+    QCheck.(
+      list_of_size Gen.(int_range 0 25)
+        (quad (int_range 0 7) (int_range 0 7) (int_range 0 12) (int_range 1 2)))
+    (fun edges ->
+      let edges =
+        List.map (fun (s, d, w, t) -> (s, d, w, max 1 (min 2 t))) edges
+      in
+      let n = 8 in
+      let g = Digraph.create ~n in
+      List.iter
+        (fun (s, d, w, t) ->
+          Digraph.add_edge g ~src:s ~dst:d ~weight:(float_of_int w) ~count:t)
+        edges;
+      let m = List.length edges in
+      let src = Array.make (max m 1) 0
+      and dst = Array.make (max m 1) 0
+      and weight = Array.make (max m 1) 0.0
+      and count = Array.make (max m 1) 0 in
+      List.iteri
+        (fun i (s, d, w, t) ->
+          src.(i) <- s;
+          dst.(i) <- d;
+          weight.(i) <- float_of_int w;
+          count.(i) <- t)
+        edges;
+      match
+        ( Cycle_ratio.howard g,
+          Cycle_ratio.howard_flat ~n ~m ~src ~dst ~weight ~count )
+      with
+      | None, None -> true
+      | Some a, Some b -> Float.equal a b
+      | Some _, None | None, Some _ -> false)
+
 let suite =
   [ "graph.known", known_tests;
     "graph.properties",
-    List.map QCheck_alcotest.to_alcotest [ agreement; monotone ] ]
+    List.map QCheck_alcotest.to_alcotest [ agreement; monotone; flat_agreement ] ]

@@ -97,6 +97,19 @@ let qcheck_json_roundtrip =
     (QCheck.make gen ~print:Json.to_string)
     (fun v -> Json.parse (Json.to_string v) = Ok v)
 
+(* Satellite of the flattening PR: predictions are serialized float by
+   float, so the emitter's float repr must parse back to the exact same
+   IEEE value (the shortest-round-trip logic in [Json.float_repr]). *)
+let qcheck_float_identity =
+  QCheck.Test.make ~count:1000 ~name:"json float print/parse identity"
+    QCheck.float
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) -> Float.is_finite f && Float.equal g f
+      | Ok (Json.Int i) -> Float.is_finite f && Float.equal (float_of_int i) f
+      | Ok Json.Null -> not (Float.is_finite f)
+      | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Histogram                                                           *)
 
@@ -282,7 +295,22 @@ let err_tests =
         | Ok _ -> Alcotest.fail "accepted bad hex"
         | Error e ->
           Alcotest.(check bool) "kind" true (e.Err.kind = Err.Bad_hex);
-          Alcotest.(check (option int)) "pos" (Some 3) e.Err.pos) ]
+          Alcotest.(check (option int)) "pos" (Some 3) e.Err.pos);
+    Alcotest.test_case "prediction_to_json rejects non-finite values" `Quick
+      (fun () ->
+        let cfg = Config.by_arch Config.SKL in
+        let code =
+          match Hex.decode valid_hex with Ok c -> c | Error _ -> assert false
+        in
+        let p = Model.predict (Block.of_bytes cfg code) in
+        List.iter
+          (fun bad ->
+            match Model.prediction_to_json { p with Model.cycles = bad } with
+            | _ -> Alcotest.failf "accepted cycles = %h" bad
+            | exception Err.Error e ->
+              Alcotest.(check bool) "internal kind" true
+                (e.Err.kind = Err.Internal))
+          [ Float.nan; Float.infinity; Float.neg_infinity ]) ]
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: the serve wire format cannot drift from --json       *)
@@ -339,7 +367,10 @@ let suite =
   (* shared long-lived instance for the qcheck wire tests: exercising
      one state machine across hundreds of mixed requests is exactly
      the serving scenario *)
-  [ "obs.json", QCheck_alcotest.to_alcotest qcheck_json_roundtrip :: json_tests;
+  [ "obs.json",
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip
+    :: QCheck_alcotest.to_alcotest qcheck_float_identity
+    :: json_tests;
     "obs.histogram", histogram_tests;
     "obs.wire",
     [ QCheck_alcotest.to_alcotest (qcheck_wire_garbage serve);

@@ -101,8 +101,7 @@ let run_command arch f =
     prerr_endline ("error: unknown microarchitecture: " ^ arch);
     Err.exit_code Err.Unknown_arch
 
-let print_prediction cfg block mode =
-  let p = predict_block block mode in
+let print_prediction cfg block mode (p : Model.prediction) =
   Printf.printf "block: %d instructions, %d bytes, %d fused-domain uops\n"
     (List.length block.Block.entries)
     block.Block.len (Block.fused_uops block);
@@ -115,8 +114,7 @@ let print_prediction cfg block mode =
     (fun (c, v) ->
       let tag = if List.mem c p.Model.bottlenecks then "  <- bottleneck" else "" in
       Printf.printf "  %-11s %6.2f%s\n" (Model.component_name c) v tag)
-    p.Model.values;
-  p
+    p.Model.values
 
 (* the shared prediction encoding (Model.prediction_to_json), prefixed
    with call-site context fields *)
@@ -154,6 +152,40 @@ let max_input_arg =
   in
   Arg.(value & opt int 0 & info [ "max-input-bytes" ] ~docv:"BYTES" ~doc)
 
+(* Canonical resource options, shared by predict/batch/serve.  The
+   pre-TCP spellings stay accepted as hidden aliases so existing
+   scripts keep working; they are merged canonical-wins. *)
+let deprecated_docs = "DEPRECATED ALIASES"
+
+let workers_arg =
+  let doc =
+    "Worker domains (default: the number of cores the runtime \
+     recommends). 1 forces sequential prediction."
+  in
+  Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+
+let jobs_alias_arg =
+  let doc = "Deprecated alias for $(b,--workers)." in
+  Arg.(value
+       & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc ~docs:deprecated_docs)
+
+let merge_workers workers jobs =
+  match workers with Some _ -> workers | None -> jobs
+
+let cache_cap_arg =
+  let doc = "Memoization cache capacity in entries (bounded LRU)." in
+  Arg.(value
+       & opt int Facile_engine.Engine.default_cache_cap
+       & info [ "cache-cap" ] ~docv:"N" ~doc)
+
+let deadline_opt_arg =
+  let doc =
+    "Per-request wall-clock deadline in milliseconds; work over budget \
+     answers a typed timeout error (exit code 9)."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let check_input_size limit text =
   if limit > 0 && String.length text > limit then
     Error
@@ -163,29 +195,48 @@ let check_input_size limit text =
   else Ok text
 
 let predict_cmd =
-  let run arch mode hex json max_input file =
+  let run arch mode hex json max_input deadline_ms file =
     run_command arch (fun cfg ->
+        (match deadline_ms with
+         | Some ms when ms < 0 ->
+           failwith (Printf.sprintf "--deadline-ms must be >= 0, got %d" ms)
+         | _ -> ());
         let* text = check_input_size max_input (read_input file) in
-        let* block =
-          if hex then
-            let* code = Hex.decode text in
-            decode_block cfg code
-          else parse_asm_block cfg text
+        let deadline_ns = Option.map (fun ms -> ms * 1_000_000) deadline_ms in
+        let compute () =
+          let* block =
+            if hex then
+              let* code = Hex.decode text in
+              decode_block cfg code
+            else parse_asm_block cfg text
+          in
+          (* decode can be the slow half on huge blocks: charge it
+             against the same budget as the prediction *)
+          Facile_engine.Fault.check_deadline ();
+          let* mode = mode_of_block block mode in
+          Ok (block, mode, predict_block block mode)
         in
-        let* mode = mode_of_block block mode in
-        if json then
-          print_endline
-            (Json.to_string
-               (prediction_with_context
-                  [ "arch", Json.Str cfg.Config.abbrev;
-                    "mode", Json.Str (mode_name mode) ]
-                  (predict_block block mode)))
-        else ignore (print_prediction cfg block mode);
-        Ok ())
+        match Facile_engine.Fault.with_deadline deadline_ns compute with
+        | exception Facile_engine.Fault.Deadline_exceeded ->
+          Error
+            (Err.v Err.Timeout
+               (Printf.sprintf "prediction exceeded its %dms deadline"
+                  (Option.value ~default:0 deadline_ms)))
+        | Error e -> Error e
+        | Ok (block, mode, p) ->
+          if json then
+            print_endline
+              (Json.to_string
+                 (prediction_with_context
+                    [ "arch", Json.Str cfg.Config.abbrev;
+                      "mode", Json.Str (mode_name mode) ]
+                    p))
+          else print_prediction cfg block mode p;
+          Ok ())
   in
   Cmd.v (Cmd.info "predict" ~doc:"Predict basic-block throughput.")
     Term.(const run $ arch_arg $ mode_arg $ hex_arg $ json_arg
-          $ max_input_arg $ file_arg)
+          $ max_input_arg $ deadline_opt_arg $ file_arg)
 
 (* ----- explain ----- *)
 
@@ -194,7 +245,8 @@ let explain_cmd =
     run_command arch (fun cfg ->
         let* block = load_block cfg ~hex ~file in
         let* mode = mode_of_block block mode in
-        let p = print_prediction cfg block mode in
+        let p = predict_block block mode in
+        print_prediction cfg block mode p;
         print_newline ();
         if List.mem Model.Precedence p.Model.bottlenecks then begin
           Printf.printf "critical dependency chain (instr:value:def/use):\n";
@@ -268,19 +320,13 @@ let sweep_cmd =
 
 (* ----- batch: parallel prediction of many blocks ----- *)
 
-let jobs_arg =
-  let doc =
-    "Worker domains (default: the number of cores the runtime \
-     recommends). 1 forces sequential prediction."
-  in
-  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
 let no_memo_arg =
   let doc = "Disable memoization of repeated blocks." in
   Arg.(value & flag & info [ "no-memo" ] ~doc)
 
 let batch_cmd =
-  let run arch mode jobs no_memo quiet json file =
+  let run arch mode workers jobs no_memo cache_cap quiet json file =
+    let jobs = merge_workers workers jobs in
     run_command arch (fun cfg ->
         let* engine_mode =
           match mode with
@@ -340,10 +386,16 @@ let batch_cmd =
         if cases = [] then failwith "no blocks in input";
         (match jobs with
          | Some n when n < 1 ->
-           failwith (Printf.sprintf "--jobs must be at least 1, got %d" n)
+           failwith (Printf.sprintf "--workers must be at least 1, got %d" n)
          | _ -> ());
+        if cache_cap < 1 then
+          failwith
+            (Printf.sprintf "--cache-cap must be at least 1, got %d" cache_cap);
         let blocks = List.map (fun (_, b, _) -> b) cases in
-        let pool = Facile_engine.Engine.create ?workers:jobs ~memoize:(not no_memo) () in
+        let pool =
+          Facile_engine.Engine.create ?workers:jobs ~memoize:(not no_memo)
+            ~cache_cap ()
+        in
         let t0 = Unix.gettimeofday () in
         let preds =
           Fun.protect
@@ -424,17 +476,18 @@ let batch_cmd =
          "Predict many blocks in parallel (one hex-encoded block per \
           line, optionally ',<measured cycles>' for aggregate error \
           metrics).")
-    Term.(const run $ arch_arg $ mode_arg $ jobs_arg $ no_memo_arg $ quiet_arg
-          $ json_arg $ file_arg)
+    Term.(const run $ arch_arg $ mode_arg $ workers_arg $ jobs_alias_arg
+          $ no_memo_arg $ cache_cap_arg $ quiet_arg $ json_arg $ file_arg)
 
 (* ----- serve: long-running NDJSON prediction service ----- *)
 
 let serve_cmd =
-  let run jobs no_memo deadline_ms no_deadline queue_cap cache_cap
-      max_input_bytes max_insts =
-    (match jobs with
+  let run workers jobs no_memo deadline_ms no_deadline queue_cap cache_cap
+      max_input_bytes max_insts tcp max_conns conn_rate =
+    let workers = merge_workers workers jobs in
+    (match workers with
      | Some n when n < 1 ->
-       failwith (Printf.sprintf "--jobs must be at least 1, got %d" n)
+       failwith (Printf.sprintf "--workers must be at least 1, got %d" n)
      | _ -> ());
     if deadline_ms < 0 then
       failwith (Printf.sprintf "--deadline-ms must be >= 0, got %d" deadline_ms);
@@ -448,22 +501,52 @@ let serve_cmd =
            max_input_bytes);
     if max_insts < 1 then
       failwith (Printf.sprintf "--max-insts must be at least 1, got %d" max_insts);
+    if max_conns < 1 then
+      failwith (Printf.sprintf "--max-conns must be at least 1, got %d" max_conns);
+    if conn_rate < 0.0 || not (Float.is_finite conn_rate) then
+      failwith (Printf.sprintf "--conn-rate must be >= 0, got %g" conn_rate);
+    let tcp_endpoint =
+      match tcp with
+      | None -> None
+      | Some s ->
+        (match Facile_engine.Net.parse_endpoint s with
+         | Ok (host, port) -> Some (host, port)
+         | Error m -> failwith ("--tcp: " ^ m))
+    in
     (* deterministic fault injection for the chaos harness: a no-op
        unless FACILE_FAULT is set *)
     (try Facile_engine.Fault.configure_from_env ()
      with Invalid_argument m -> failwith m);
-    let limits =
-      { Facile_engine.Serve.default_limits with
-        Facile_engine.Serve.max_input_bytes; max_insts }
-    in
     let t =
-      Facile_engine.Serve.create ?workers:jobs ~memoize:(not no_memo)
-        ?deadline_ms:(if no_deadline then None else Some deadline_ms)
-        ~queue_cap ~cache_cap ~limits ()
+      Facile_engine.Serve.of_config
+        { Facile_engine.Serve.default_config with
+          Facile_engine.Serve.workers;
+          memoize = not no_memo;
+          cache_cap = Some cache_cap;
+          deadline_ms = (if no_deadline then None else Some deadline_ms);
+          queue_cap;
+          limits =
+            { Facile_engine.Serve.default_limits with
+              Facile_engine.Serve.max_input_bytes; max_insts } }
     in
     Fun.protect
       ~finally:(fun () -> Facile_engine.Serve.shutdown t)
-      (fun () -> Facile_engine.Serve.run t stdin stdout);
+      (fun () ->
+        match tcp_endpoint with
+        | None -> Facile_engine.Serve.run t stdin stdout
+        | Some (host, port) ->
+          (* the bound address goes to stderr as one JSON line so
+             clients (and the chaos harness) can discover an
+             ephemeral port; stdout stays idle in TCP mode *)
+          Facile_engine.Net.run t
+            ~announce:(fun ~host ~port ->
+              prerr_endline
+                (Json.to_string
+                   (Json.Obj
+                      [ "listening",
+                        Json.Str (Printf.sprintf "%s:%d" host port) ]));
+              flush stderr)
+            { Facile_engine.Net.host; port; max_conns; conn_rate });
     0
   in
   let deadline_arg =
@@ -485,11 +568,6 @@ let serve_cmd =
     in
     Arg.(value & opt int 128 & info [ "queue" ] ~docv:"N" ~doc)
   in
-  let cache_cap_arg =
-    let doc = "Memoization cache capacity in entries (bounded LRU)." in
-    Arg.(value & opt int Facile_engine.Engine.default_cache_cap
-         & info [ "cache-cap" ] ~docv:"N" ~doc)
-  in
   let serve_max_input_arg =
     let doc = "Per-request hex/asm payload limit in bytes (too_large)." in
     Arg.(value & opt int Facile_engine.Serve.default_limits.Facile_engine.Serve.max_input_bytes
@@ -499,6 +577,30 @@ let serve_cmd =
     let doc = "Per-request instruction-count limit (too_large)." in
     Arg.(value & opt int Facile_engine.Serve.default_limits.Facile_engine.Serve.max_insts
          & info [ "max-insts" ] ~docv:"N" ~doc)
+  in
+  let tcp_arg =
+    let doc =
+      "Serve many concurrent clients over TCP on $(docv) instead of \
+       stdio (e.g. 127.0.0.1:9999). Port 0 picks an ephemeral port; \
+       the bound address is announced on stderr as one \
+       {\"listening\":\"host:port\"} line."
+    in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Concurrent TCP connection limit; connections over the limit are \
+       answered with a single retry_after line and closed."
+    in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let conn_rate_arg =
+    let doc =
+      "Per-connection request admission rate in requests/second (token \
+       bucket; refused requests answer a typed rate_limited error with \
+       a retry_after_ms hint). 0 disables the limit."
+    in
+    Arg.(value & opt float 0.0 & info [ "conn-rate" ] ~docv:"RPS" ~doc)
   in
   let man =
     [ `S Manpage.s_description;
@@ -520,6 +622,24 @@ let serve_cmd =
          counters, p50/p95/p99 latency, and per-component time \
          attribution. Malformed input yields a typed error response.";
       `P
+        "Wire protocol version 1: every response carries \
+         \"proto\":1, {\"cmd\":\"version\"} reports the protocol \
+         version and build information, requests carrying an \
+         unknown top-level key or a \"proto\" other than 1 are \
+         rejected with bad_request.";
+      `P
+        "With --tcp HOST:PORT the same service accepts many \
+         concurrent connections: each connection gets its own framing, \
+         bounded request queue (shed with retry_after per connection), \
+         and optional --conn-rate admission bucket (refusals answer \
+         rate_limited), while all connections share one engine pool, \
+         memoization cache, and supervised executor. Connections over \
+         --max-conns are refused with a retry_after line. A client \
+         that disconnects mid-write is counted under io.epipe and \
+         never affects other connections. Stats gain a \
+         \"connections\" section (accepted/active/rejected/\
+         rate_limited/bytes).";
+      `P
         "Robustness: decode+predict run on a supervised worker domain \
          (crashes answer a typed internal error, the worker is \
          respawned with backoff behind a circuit breaker); requests \
@@ -533,12 +653,15 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~man
-       ~doc:"Serve predictions over a fault-tolerant NDJSON loop.")
-    Term.(const (fun jobs no_memo dl nodl q cc mib mi ->
-             try run jobs no_memo dl nodl q cc mib mi with Failure m ->
+       ~doc:
+         "Serve predictions over a fault-tolerant NDJSON loop (stdio \
+          or multi-client TCP).")
+    Term.(const (fun w j nm dl nodl q cc mib mi tcp mc cr ->
+             try run w j nm dl nodl q cc mib mi tcp mc cr with Failure m ->
                prerr_endline ("error: " ^ m); 1)
-          $ jobs_arg $ no_memo_arg $ deadline_arg $ no_deadline_arg
-          $ queue_arg $ cache_cap_arg $ serve_max_input_arg $ max_insts_arg)
+          $ workers_arg $ jobs_alias_arg $ no_memo_arg $ deadline_arg
+          $ no_deadline_arg $ queue_arg $ cache_cap_arg $ serve_max_input_arg
+          $ max_insts_arg $ tcp_arg $ max_conns_arg $ conn_rate_arg)
 
 (* ----- simulate ----- *)
 

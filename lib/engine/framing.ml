@@ -1,0 +1,89 @@
+(* Chunked line reassembly with a hard per-line memory bound.
+
+   State machine: either accumulating the current line in [buf]
+   (at most [cap] bytes), or — once the line has provably exceeded
+   [cap] — discarding until the next '\n' while only counting the
+   dropped length.  Either way a chunk is scanned exactly once. *)
+
+type event = Line of string | Oversized of int
+
+type t = {
+  cap : int;
+  buf : Buffer.t;
+  mutable discarding : bool;
+  mutable dropped : int;  (* bytes of the current oversized line so far *)
+}
+
+let create ~max_line_bytes =
+  if max_line_bytes < 1 then
+    invalid_arg
+      (Printf.sprintf "Framing.create: max_line_bytes = %d" max_line_bytes);
+  { cap = max_line_bytes;
+    buf = Buffer.create (min max_line_bytes 4096);
+    discarding = false;
+    dropped = 0 }
+
+let max_line_bytes t = t.cap
+let buffered t = Buffer.length t.buf
+
+let feed t b off len =
+  if off < 0 || len < 0 || off > Bytes.length b - len then
+    invalid_arg "Framing.feed: invalid range";
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let i = ref off in
+  let stop = off + len in
+  while !i < stop do
+    (* the current segment: [!i, j) holds no '\n' *)
+    let j = ref !i in
+    while !j < stop && Bytes.unsafe_get b !j <> '\n' do
+      incr j
+    done;
+    let seg = !j - !i in
+    if !j < stop then begin
+      (* the segment completes a line at the '\n' in position !j *)
+      if t.discarding then begin
+        emit (Oversized (t.dropped + seg));
+        t.discarding <- false;
+        t.dropped <- 0
+      end
+      else begin
+        let total = Buffer.length t.buf + seg in
+        if total > t.cap then emit (Oversized total)
+        else begin
+          Buffer.add_subbytes t.buf b !i seg;
+          emit (Line (Buffer.contents t.buf))
+        end;
+        Buffer.clear t.buf
+      end;
+      i := !j + 1
+    end
+    else begin
+      (* chunk ended mid-line: buffer (or drop) the partial segment *)
+      if t.discarding then t.dropped <- t.dropped + seg
+      else if Buffer.length t.buf + seg > t.cap then begin
+        t.dropped <- Buffer.length t.buf + seg;
+        t.discarding <- true;
+        Buffer.clear t.buf
+      end
+      else Buffer.add_subbytes t.buf b !i seg;
+      i := !j
+    end
+  done;
+  List.rev !events
+
+let feed_string t s = feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let finish t =
+  if t.discarding then begin
+    let n = t.dropped in
+    t.discarding <- false;
+    t.dropped <- 0;
+    Some (Oversized n)
+  end
+  else if Buffer.length t.buf > 0 then begin
+    let line = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    Some (Line line)
+  end
+  else None

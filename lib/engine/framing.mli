@@ -1,0 +1,47 @@
+(** Incremental newline framing over chunked byte input.
+
+    The network and stdio transports hand the session layer whatever
+    the kernel gave them — partial lines, many lines per chunk, lines
+    split at arbitrary byte boundaries.  [Framing.t] reassembles that
+    stream into complete lines while holding at most [max_line_bytes]
+    of buffered data: a line that grows past the cap is discarded
+    byte-by-byte (never buffered) and surfaces as a single
+    {!Oversized} event carrying its total length, so an adversarial
+    client cannot make the server buffer an unbounded line. *)
+
+type event =
+  | Line of string
+      (** A complete line; the terminating ['\n'] is stripped, nothing
+          else (in particular ['\r'] is preserved, as with
+          [input_line]). *)
+  | Oversized of int
+      (** A line longer than [max_line_bytes] was discarded; the
+          payload is its total length in bytes (without the ['\n']). *)
+
+type t
+
+(** [create ~max_line_bytes] — fresh framing state.
+    @raise Invalid_argument if [max_line_bytes < 1]. *)
+val create : max_line_bytes:int -> t
+
+(** The line-length cap this framer was created with. *)
+val max_line_bytes : t -> int
+
+(** Bytes currently buffered waiting for a ['\n'] (always
+    [<= max_line_bytes]). *)
+val buffered : t -> int
+
+(** [feed t buf off len] consumes [len] bytes of [buf] starting at
+    [off] and returns the events completed by them, in stream order.
+    @raise Invalid_argument if [off]/[len] do not denote a valid
+    range of [buf]. *)
+val feed : t -> bytes -> int -> int -> event list
+
+(** [feed_string t s] — {!feed} over a whole string. *)
+val feed_string : t -> string -> event list
+
+(** Flush the trailing unterminated line at end of stream: like
+    [input_line], data after the last ['\n'] still counts as a final
+    line (or a final {!Oversized} if it was over the cap).  Returns
+    [None] when nothing is pending.  Resets the state either way. *)
+val finish : t -> event option

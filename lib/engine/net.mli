@@ -1,0 +1,67 @@
+(** Multi-client TCP transport for the NDJSON prediction service.
+
+    [Net.run t cfg] listens on [cfg.host:cfg.port] and serves each
+    accepted connection as one {!Session} ({!Serve.session}) against
+    the shared {!Serve.t} core — every client shares the engine pool,
+    memo cache, supervised executor, and statistics, while framing,
+    admission, backpressure, and write failures stay per connection:
+
+    - at most [max_conns] connections are served concurrently;
+      connections over the limit are answered with one
+      ["retry_after"] line and closed, counted under
+      [connections.rejected];
+    - [conn_rate] > 0 arms a per-connection token bucket of that many
+      requests/second; refused requests answer ["rate_limited"] with
+      a [retry_after_ms] hint, counted under
+      [connections.rate_limited];
+    - a client that floods faster than the engine drains is shed per
+      connection with ["retry_after"] (its session's bounded queue),
+      never stalling other clients;
+    - a client that disconnects mid-write ([EPIPE]/[ECONNRESET])
+      kills only its own session, counted under [io.epipe];
+    - SIGINT/SIGTERM (or {!Serve.request_shutdown}) stop the accept
+      loop, drain every in-flight connection (queued requests are
+      still answered), and flush the final stats snapshot to stderr.
+
+    Observable counters: [net.conns.accepted], [net.conns.active],
+    [net.conns.rejected] in the process registry, plus the
+    ["connections"] section of [{"cmd":"stats"}]. *)
+
+type config = {
+  host : string;      (** bind address, e.g. "127.0.0.1" or "0.0.0.0" *)
+  port : int;         (** TCP port; [0] picks an ephemeral port *)
+  max_conns : int;    (** concurrent-connection limit *)
+  conn_rate : float;  (** per-connection requests/second; [0.] = off *)
+}
+
+(** [{host = "127.0.0.1"; port = 0; max_conns = 64; conn_rate = 0.}] *)
+val default_config : config
+
+(** [parse_endpoint "HOST:PORT"] splits at the last [':'] (so bare
+    IPv6 textual addresses with an appended port parse), validating
+    the port. *)
+val parse_endpoint : string -> (string * int, string) result
+
+(** [fd_transport fd] — a {!Session.transport} over a connected
+    socket (or any stream fd): reads map reset-style errors to
+    end-of-stream, writes map [EPIPE]/[ECONNRESET] to
+    {!Session.Peer_closed}, close shuts the socket down and closes
+    it. *)
+val fd_transport : Unix.file_descr -> Session.transport
+
+(** [run ?signals ?announce t cfg] — bind, listen, and serve until
+    shutdown.  [announce] (default ignore) receives the actually
+    bound address and port once listening — the way callers learn the
+    ephemeral port when [cfg.port = 0].  [signals] (default [true])
+    installs the serving signal discipline
+    ({!Serve.install_signal_handlers}).  Returns after the graceful
+    drain; does not call {!Serve.shutdown}.
+    @raise Invalid_argument if [max_conns < 1], [conn_rate] is
+    negative or not finite, or the port is out of range.
+    @raise Failure if the address cannot be resolved or bound. *)
+val run :
+  ?signals:bool ->
+  ?announce:(host:string -> port:int -> unit) ->
+  Serve.t ->
+  config ->
+  unit

@@ -1,10 +1,19 @@
-(* Long-running NDJSON prediction service on top of the engine: one
+(* NDJSON prediction service core, shared by every transport: one
    JSON request object per line in, one JSON response object per line
    out.  The engine pool and its bounded LRU memo cache persist across
-   requests, so a traffic-serving deployment pays decode+predict once
-   per distinct block instead of a process start per request.
+   requests and across *connections*, so a traffic-serving deployment
+   pays decode+predict once per distinct block instead of a process
+   start per request.
 
-   The loop is built to degrade gracefully rather than die:
+   This module is the protocol/session core only: request parsing,
+   admission limits, deadlines, supervised execution, response
+   encoding, and the shared statistics.  Byte-stream mechanics live in
+   {!Session} (framing, per-session queue/backpressure, write
+   serialization); {!run} below drives one stdio session, and
+   {!Net.run} drives one session per TCP connection — both against
+   the same [t].
+
+   The pipeline is built to degrade gracefully rather than die:
 
    - the heavy per-request work (decode + predict) runs on a
      supervised executor domain ({!Supervise}); a crash there — real
@@ -14,14 +23,16 @@
    - each request runs under an optional wall-clock deadline
      ({!Fault.with_deadline}) and answers "timeout" when the budget is
      spent;
-   - a bounded request queue ({!Bqueue}) decouples reading from
+   - a bounded per-session request queue decouples reading from
      handling; when it fills, new lines are shed with a "retry_after"
-     error instead of growing memory;
+     error instead of growing memory, and a per-session token bucket
+     can refuse over-rate clients with "rate_limited";
    - oversized lines, inputs, and blocks answer "too_large";
    - EOF, SIGINT, and SIGTERM all drain in-flight work, flush a final
      stats snapshot to stderr, and return normally; a client that
-     closes its end (EPIPE) is counted and triggers the same clean
-     shutdown instead of killing the process. *)
+     closes its end (EPIPE/ECONNRESET) kills only its own session's
+     writer, is counted under io.epipe, and never takes down the
+     process or the shared executor. *)
 
 open Facile_x86
 open Facile_uarch
@@ -29,6 +40,11 @@ open Facile_core
 module Json = Facile_obs.Json
 module Obs = Facile_obs.Obs
 module Clock = Facile_obs.Clock
+
+(* Version of the wire protocol.  Bump on any incompatible change to
+   the request/response shapes; responses carry it as "proto" and
+   {"cmd":"version"} reports it alongside build info. *)
+let proto_version = 1
 
 type limits = {
   max_line_bytes : int;
@@ -40,6 +56,39 @@ let default_limits =
   { max_line_bytes = 1 lsl 20; (* 1 MiB: an adversarial line cannot OOM us *)
     max_input_bytes = 65536;
     max_insts = 4096 }
+
+type config = {
+  workers : int option;
+  memoize : bool;
+  cache_cap : int option;
+  deadline_ms : int option;
+  queue_cap : int;
+  retry_after_ms : int;
+  limits : limits;
+  supervisor : Supervise.config;
+}
+
+let default_config =
+  { workers = None;
+    memoize = true;
+    cache_cap = None;
+    deadline_ms = None;
+    queue_cap = 128;
+    retry_after_ms = 50;
+    limits = default_limits;
+    supervisor = Supervise.default_config }
+
+(* Connection-level accounting, shared by every transport against this
+   core.  Atomics, not the stats mutex: these are bumped from N
+   session threads on the byte-moving path. *)
+type conns = {
+  accepted : int Atomic.t;
+  active : int Atomic.t;
+  rejected : int Atomic.t;       (* refused at the connection limit *)
+  rate_limited : int Atomic.t;   (* requests refused by a session bucket *)
+  bytes_in : int Atomic.t;
+  bytes_out : int Atomic.t;
+}
 
 type t = {
   engine : Engine.t;
@@ -55,30 +104,36 @@ type t = {
   mutable total : int;                 (* every line handled, incl. stats *)
   mutable predicted : int;             (* successful predictions *)
   mutable stats_served : int;
+  mutable version_served : int;
   mutable errors : int;
-  mutable shed : int;                  (* lines refused by the full queue *)
-  mutable epipe : int;                 (* writes that found the pipe closed *)
+  mutable shed : int;                  (* lines refused by a full queue *)
+  mutable epipe : int;                 (* writes that found the peer gone *)
+  conns : conns;
   started_ns : int;
   stop : bool Atomic.t;                (* graceful-shutdown request *)
 }
 
-let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
-    ?(limits = default_limits) ?(supervisor = Supervise.default_config) () =
-  if queue_cap < 1 then
-    invalid_arg (Printf.sprintf "Serve.create: queue_cap = %d" queue_cap);
-  if limits.max_line_bytes < 1 || limits.max_input_bytes < 1
-     || limits.max_insts < 1
+let of_config (c : config) =
+  if c.queue_cap < 1 then
+    invalid_arg (Printf.sprintf "Serve.create: queue_cap = %d" c.queue_cap);
+  if c.retry_after_ms < 0 then
+    invalid_arg
+      (Printf.sprintf "Serve.create: retry_after_ms = %d" c.retry_after_ms);
+  if c.limits.max_line_bytes < 1 || c.limits.max_input_bytes < 1
+     || c.limits.max_insts < 1
   then invalid_arg "Serve.create: limits must be positive";
-  { engine = Engine.create ?workers ?memoize ?cache_cap ();
-    sup = Supervise.create ~config:supervisor ();
-    limits;
+  { engine =
+      Engine.create ?workers:c.workers ~memoize:c.memoize
+        ?cache_cap:c.cache_cap ();
+    sup = Supervise.create ~config:c.supervisor ();
+    limits = c.limits;
     deadline_ns =
       Option.map (fun ms ->
           if ms < 0 then invalid_arg "Serve.create: deadline_ms < 0"
           else ms * 1_000_000)
-        deadline_ms;
-    queue_cap;
-    retry_after_ms = 50;
+        c.deadline_ms;
+    queue_cap = c.queue_cap;
+    retry_after_ms = c.retry_after_ms;
     latency = Obs.Histogram.create ();
     mu = Mutex.create ();
     by_arch = Hashtbl.create 16;
@@ -86,17 +141,46 @@ let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
     total = 0;
     predicted = 0;
     stats_served = 0;
+    version_served = 0;
     errors = 0;
     shed = 0;
     epipe = 0;
+    conns =
+      { accepted = Atomic.make 0;
+        active = Atomic.make 0;
+        rejected = Atomic.make 0;
+        rate_limited = Atomic.make 0;
+        bytes_in = Atomic.make 0;
+        bytes_out = Atomic.make 0 };
     started_ns = Clock.now_ns ();
     stop = Atomic.make false }
+
+(* Deprecated spelling of {!of_config}, kept for embedders. *)
+let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
+    ?(limits = default_limits) ?(supervisor = Supervise.default_config) () =
+  of_config
+    { default_config with
+      workers;
+      memoize = Option.value memoize ~default:true;
+      cache_cap;
+      deadline_ms;
+      queue_cap;
+      limits;
+      supervisor }
 
 let shutdown t =
   Supervise.shutdown t.sup;
   Engine.shutdown t.engine
 
 let request_shutdown t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+let conn_opened t =
+  Atomic.incr t.conns.accepted;
+  Atomic.incr t.conns.active
+
+let conn_closed t = Atomic.decr t.conns.active
+let conn_rejected t = Atomic.incr t.conns.rejected
 
 let locked t f =
   Mutex.lock t.mu;
@@ -108,9 +192,10 @@ let bump tbl key =
 
 (* ----- responses ----- *)
 
-(* Wire error kinds are the Err.t taxonomy plus three serving-layer
+(* Wire error kinds are the Err.t taxonomy plus four serving-layer
    kinds: "bad_request" (the line is not a valid request object),
-   "retry_after" (the request queue is full; shed), and "internal"
+   "retry_after" (the request queue is full; shed), "rate_limited"
+   (the per-connection admission bucket is empty), and "internal"
    (the supervised executor crashed — a bug or an injected fault). *)
 let error_response t ~id ~kind ?pos ?(extra = []) msg =
   locked t (fun () ->
@@ -133,6 +218,26 @@ let shed_response t ~id =
   error_response t ~id ~kind:"retry_after"
     ~extra:[ "retry_after_ms", Json.Int t.retry_after_ms ]
     (Printf.sprintf "request queue full (capacity %d)" t.queue_cap)
+
+(* Wire responses carry the protocol version; appended last so the
+   leading fields (id, cycles/error/stats) keep their shape. *)
+let with_proto = function
+  | Json.Obj kvs when not (List.mem_assoc "proto" kvs) ->
+    Json.Obj (kvs @ [ "proto", Json.Int proto_version ])
+  | j -> j
+
+let version_json t =
+  Json.Obj
+    [ "proto", Json.Int proto_version;
+      "name", Json.Str "facile";
+      "version", Json.Str "1.0";
+      "ocaml", Json.Str Sys.ocaml_version;
+      "os", Json.Str Sys.os_type;
+      "word_size", Json.Int Sys.word_size;
+      "workers", Json.Int (Engine.size t.engine);
+      "arches",
+      Json.Arr
+        (List.map (fun (c : Config.t) -> Json.Str c.Config.abbrev) Config.all) ]
 
 let stats_json t =
   let c = Engine.cache_stats t.engine in
@@ -157,6 +262,7 @@ let stats_json t =
             [ "total", Json.Int t.total;
               "predicted", Json.Int t.predicted;
               "stats", Json.Int t.stats_served;
+              "version", Json.Int t.version_served;
               "by_arch", Json.Obj (sorted t.by_arch) ];
           "errors",
           Json.Obj
@@ -173,6 +279,14 @@ let stats_json t =
           "queue",
           Json.Obj
             [ "capacity", Json.Int t.queue_cap; "shed", Json.Int t.shed ];
+          "connections",
+          Json.Obj
+            [ "accepted", Json.Int (Atomic.get t.conns.accepted);
+              "active", Json.Int (Atomic.get t.conns.active);
+              "rejected", Json.Int (Atomic.get t.conns.rejected);
+              "rate_limited", Json.Int (Atomic.get t.conns.rate_limited);
+              "bytes_in", Json.Int (Atomic.get t.conns.bytes_in);
+              "bytes_out", Json.Int (Atomic.get t.conns.bytes_out) ];
           "supervisor",
           Json.Obj
             [ "respawns", Json.Int sup.Supervise.respawns;
@@ -274,73 +388,109 @@ let timeout_err t =
     (Printf.sprintf "request exceeded its %dms deadline"
        (match t.deadline_ns with Some ns -> ns / 1_000_000 | None -> 0))
 
+(* Every key a request object may carry; anything else is rejected
+   with a bad_request naming the offending key, so protocol typos and
+   version skew fail loudly instead of being silently ignored. *)
+let allowed_keys = [ "id"; "proto"; "cmd"; "arch"; "mode"; "hex"; "asm" ]
+
 let handle_request t (req : Json.t) : Json.t =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in
   match req with
-  | Json.Obj _ when Json.member "cmd" req = Some (Json.Str "stats") ->
-    locked t (fun () -> t.stats_served <- t.stats_served + 1);
-    Json.Obj [ "id", id; "stats", stats_json t ]
-  | Json.Obj _ when Json.member "cmd" req <> None ->
-    error_response t ~id ~kind:"bad_request"
-      (Printf.sprintf "unknown cmd %s (expected \"stats\")"
-         (Json.to_string (Option.get (Json.member "cmd" req))))
-  | Json.Obj _ ->
-    let field name =
-      match Json.member name req with
-      | Some (Json.Str s) -> Ok (Some s)
-      | Some _ ->
-        Error
-          (Printf.sprintf "field %S must be a string" name)
-      | None -> Ok None
-    in
-    (match field "arch", field "mode", field "hex", field "asm" with
-     | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _
-     | _, _, _, Error m ->
-       error_response t ~id ~kind:"bad_request" m
-     | Ok _, Ok _, Ok None, Ok None ->
+  | Json.Obj kvs ->
+    (match
+       List.find_opt (fun (k, _) -> not (List.mem k allowed_keys)) kvs
+     with
+     | Some (k, _) ->
        error_response t ~id ~kind:"bad_request"
-         "request needs a \"hex\" or \"asm\" field"
-     | Ok arch, Ok mode, Ok hex, Ok asm ->
-       let arch = Option.value ~default:"SKL" arch in
-       let mode = Option.value ~default:"auto" mode in
-       let input_bytes =
-         String.length (Option.value ~default:"" hex)
-         + String.length (Option.value ~default:"" asm)
-       in
-       if input_bytes > t.limits.max_input_bytes then
-         err_response t ~id
-           (Err.v Err.Too_large
-              (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
-                 input_bytes t.limits.max_input_bytes))
-       else begin
-         match Config.of_abbrev arch, mode_of_string mode with
-         | None, _ ->
-           err_response t ~id
-             (Err.v Err.Unknown_arch ("unknown microarchitecture: " ^ arch))
-         | Some _, Error e -> err_response t ~id e
-         | Some cfg, Ok mode ->
-           (match
-              Supervise.run t.sup (fun () -> compute t cfg ~mode ~hex ~asm)
-            with
-            | Ok (`Done (Error e)) -> err_response t ~id e
-            | Ok `Timeout -> err_response t ~id (timeout_err t)
-            | Error (Fault.Injected p) ->
-              error_response t ~id ~kind:"internal"
-                (Printf.sprintf
-                   "injected fault at %s killed the worker (respawning)" p)
-            | Error e ->
-              error_response t ~id ~kind:"internal" (Printexc.to_string e)
-            | Ok (`Done (Ok p)) ->
-              locked t (fun () ->
-                  t.predicted <- t.predicted + 1;
-                  bump t.by_arch cfg.Config.abbrev);
-              (match Model.prediction_to_json p with
-               | Json.Obj fields -> Json.Obj (("id", id) :: fields)
-               | other -> Json.Obj [ "id", id; "prediction", other ]))
-       end)
+         (Printf.sprintf "unknown request field %S (expected %s)" k
+            (String.concat "|" allowed_keys))
+     | None ->
+       (match Json.member "proto" req with
+        | Some p when p <> Json.Int proto_version ->
+          error_response t ~id ~kind:"bad_request"
+            (Printf.sprintf
+               "unsupported proto %s (this server speaks proto %d)"
+               (Json.to_string p) proto_version)
+        | _ ->
+          (match Json.member "cmd" req with
+           | Some (Json.Str "stats") ->
+             locked t (fun () -> t.stats_served <- t.stats_served + 1);
+             Json.Obj [ "id", id; "stats", stats_json t ]
+           | Some (Json.Str "version") ->
+             locked t (fun () -> t.version_served <- t.version_served + 1);
+             Json.Obj [ "id", id; "version", version_json t ]
+           | Some c ->
+             error_response t ~id ~kind:"bad_request"
+               (Printf.sprintf
+                  "unknown cmd %s (expected \"stats\"|\"version\")"
+                  (Json.to_string c))
+           | None ->
+             let field name =
+               match Json.member name req with
+               | Some (Json.Str s) -> Ok (Some s)
+               | Some _ ->
+                 Error
+                   (Printf.sprintf "field %S must be a string" name)
+               | None -> Ok None
+             in
+             (match field "arch", field "mode", field "hex", field "asm" with
+              | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _
+              | _, _, _, Error m ->
+                error_response t ~id ~kind:"bad_request" m
+              | Ok _, Ok _, Ok None, Ok None ->
+                error_response t ~id ~kind:"bad_request"
+                  "request needs a \"hex\" or \"asm\" field"
+              | Ok arch, Ok mode, Ok hex, Ok asm ->
+                let arch = Option.value ~default:"SKL" arch in
+                let mode = Option.value ~default:"auto" mode in
+                let input_bytes =
+                  String.length (Option.value ~default:"" hex)
+                  + String.length (Option.value ~default:"" asm)
+                in
+                if input_bytes > t.limits.max_input_bytes then
+                  err_response t ~id
+                    (Err.v Err.Too_large
+                       (Printf.sprintf
+                          "input of %d bytes exceeds the %d-byte limit"
+                          input_bytes t.limits.max_input_bytes))
+                else begin
+                  match Config.of_abbrev arch, mode_of_string mode with
+                  | None, _ ->
+                    err_response t ~id
+                      (Err.v Err.Unknown_arch
+                         ("unknown microarchitecture: " ^ arch))
+                  | Some _, Error e -> err_response t ~id e
+                  | Some cfg, Ok mode ->
+                    (match
+                       Supervise.run t.sup (fun () ->
+                           compute t cfg ~mode ~hex ~asm)
+                     with
+                     | Ok (`Done (Error e)) -> err_response t ~id e
+                     | Ok `Timeout -> err_response t ~id (timeout_err t)
+                     | Error (Fault.Injected p) ->
+                       error_response t ~id ~kind:"internal"
+                         (Printf.sprintf
+                            "injected fault at %s killed the worker \
+                             (respawning)" p)
+                     | Error e ->
+                       error_response t ~id ~kind:"internal"
+                         (Printexc.to_string e)
+                     | Ok (`Done (Ok p)) ->
+                       locked t (fun () ->
+                           t.predicted <- t.predicted + 1;
+                           bump t.by_arch cfg.Config.abbrev);
+                       (match Model.prediction_to_json p with
+                        | Json.Obj fields -> Json.Obj (("id", id) :: fields)
+                        | other -> Json.Obj [ "id", id; "prediction", other ]))
+                end))))
   | _ ->
     error_response t ~id:Json.Null ~kind:"bad_request"
       "request must be a JSON object"
+
+let line_too_large_err len cap =
+  Err.v Err.Too_large
+    (Printf.sprintf "request line of %d bytes exceeds the %d-byte limit" len
+       cap)
 
 (* [handle_line] never raises: whatever arrives on the wire, the
    caller gets exactly one JSON response object back. *)
@@ -350,9 +500,7 @@ let handle_line t line : Json.t =
   let resp =
     if String.length line > t.limits.max_line_bytes then
       err_response t ~id:Json.Null
-        (Err.v Err.Too_large
-           (Printf.sprintf "request line of %d bytes exceeds the %d-byte limit"
-              (String.length line) t.limits.max_line_bytes))
+        (line_too_large_err (String.length line) t.limits.max_line_bytes)
     else
       match Json.parse line with
       | Error m -> error_response t ~id:Json.Null ~kind:"bad_request" m
@@ -375,7 +523,61 @@ let handle_line t line : Json.t =
       ~kind:"internal" "injected fault at respond"
   | exception Fault.Deadline_exceeded -> resp
 
-(* ----- the serving loop ----- *)
+(* A line the framer discarded for being over the cap gets the same
+   accounting and response as an oversized line through [handle_line],
+   without the line ever having been buffered. *)
+let handle_oversized t len : Json.t =
+  Obs.timed t.latency @@ fun () ->
+  locked t (fun () -> t.total <- t.total + 1);
+  err_response t ~id:Json.Null
+    (line_too_large_err len t.limits.max_line_bytes)
+
+(* ----- the session API: protocol callbacks over any transport ----- *)
+
+(* Shed and rate-limit answers are produced on the reader side, where
+   only the id is worth parsing out of the raw line. *)
+let id_of_line line =
+  match Json.parse line with
+  | Ok r -> Option.value ~default:Json.Null (Json.member "id" r)
+  | Error _ -> Json.Null
+
+let shed_for_line t line =
+  locked t (fun () -> t.total <- t.total + 1);
+  shed_response t ~id:(id_of_line line)
+
+let rate_limited_for_line t line =
+  locked t (fun () -> t.total <- t.total + 1);
+  Atomic.incr t.conns.rate_limited;
+  error_response t ~id:(id_of_line line) ~kind:"rate_limited"
+    ~extra:[ "retry_after_ms", Json.Int t.retry_after_ms ]
+    "request rate limit exceeded for this connection"
+
+(* [session t transport] wires the protocol core to one byte-stream
+   transport: responses (with the proto tag appended at this, the
+   wire, layer), the line cap, the per-session queue bound, and the
+   shared connection byte/EPIPE accounting.  {!run} (stdio) and
+   {!Net.run} (each TCP connection) are both built on this. *)
+let session ?rate ?on_peer_gone t transport =
+  let out j = Json.to_string (with_proto j) in
+  let callbacks =
+    { Session.on_line = (fun line -> out (handle_line t line));
+      on_oversized = (fun len -> out (handle_oversized t len));
+      on_shed = (fun line -> out (shed_for_line t line));
+      on_rate_limited = (fun line -> out (rate_limited_for_line t line)) }
+  in
+  let sink =
+    { Session.on_bytes_in =
+        (fun n -> ignore (Atomic.fetch_and_add t.conns.bytes_in n));
+      on_bytes_out =
+        (fun n -> ignore (Atomic.fetch_and_add t.conns.bytes_out n));
+      on_epipe = (fun () -> locked t (fun () -> t.epipe <- t.epipe + 1)) }
+  in
+  Session.create ~queue_cap:t.queue_cap ?rate
+    ~should_stop:(fun () -> Atomic.get t.stop)
+    ?on_peer_gone ~sink ~max_line_bytes:t.limits.max_line_bytes callbacks
+    transport
+
+(* ----- the stdio serving loop ----- *)
 
 let install_signal_handlers t =
   let quiet f = try f () with Invalid_argument _ | Sys_error _ -> () in
@@ -389,96 +591,52 @@ let install_signal_handlers t =
             (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))))
     [ Sys.sigint; Sys.sigterm ]
 
-(* Pipelined NDJSON loop: a reader thread feeds the bounded request
-   queue (shedding with "retry_after" when it is full) while the
-   calling thread drains it through the supervised handler.  Ends —
-   after draining everything queued — on EOF, SIGINT/SIGTERM, or a
-   client that closed the pipe, flushing a final stats snapshot to
-   stderr. *)
+(* final snapshot on stderr: stdout carries only protocol responses *)
+let print_final_stats t =
+  try
+    prerr_endline
+      (Json.to_string (Json.Obj [ "final_stats", stats_json t ]));
+    flush stderr
+  with Sys_error _ -> ()
+
+(* Stdio NDJSON loop: exactly one {!Session} whose transport is the
+   given channel pair.  Ends — after draining everything queued — on
+   EOF, SIGINT/SIGTERM, or a client that closed the pipe, flushing a
+   final stats snapshot to stderr. *)
 let run ?(signals = true) t ic oc =
   if signals then install_signal_handlers t;
-  let q = Bqueue.create t.queue_cap in
-  let omu = Mutex.create () in
-  let write_json j =
-    Mutex.lock omu;
-    Fun.protect ~finally:(fun () -> Mutex.unlock omu) @@ fun () ->
-    try
-      output_string oc (Json.to_string j);
-      output_char oc '\n';
-      flush oc
-    with Sys_error _ ->
-      (* EPIPE: the client went away; count it and shut down cleanly *)
-      locked t (fun () -> t.epipe <- t.epipe + 1);
-      Atomic.set t.stop true;
-      Bqueue.close q;
-      (* park stdout on /dev/null so the runtime's at-exit flush of
-         the dead descriptor cannot turn this clean shutdown into a
-         fatal Sys_error *)
-      if oc == stdout then
-        (try
-           let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
-           (* if fd 1 was closed outright, openfile just reused it *)
-           if null <> Unix.stdout then begin
-             Unix.dup2 null Unix.stdout;
-             Unix.close null
-           end
-         with Unix.Unix_error _ | Sys_error _ -> ())
+  (* park stdout on /dev/null once the client is gone so the runtime's
+     at-exit flush of the dead descriptor cannot turn a clean shutdown
+     into a fatal Sys_error *)
+  let park_stdout () =
+    if oc == stdout then
+      try
+        let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        (* if fd 1 was closed outright, openfile just reused it *)
+        if null <> Unix.stdout then begin
+          Unix.dup2 null Unix.stdout;
+          Unix.close null
+        end
+      with Unix.Unix_error _ | Sys_error _ -> ()
   in
-  let reader () =
-    let rec loop () =
-      if not (Atomic.get t.stop) then
-        match input_line ic with
-        | line ->
-          if String.trim line <> "" then begin
-            if not (Bqueue.push q line) && not (Bqueue.is_closed q) then begin
-              (* shed: answer immediately from the reader so the queue
-                 stays bounded; only the id is parsed out of the line *)
-              locked t (fun () -> t.total <- t.total + 1);
-              let id =
-                match Json.parse line with
-                | Ok r -> Option.value ~default:Json.Null (Json.member "id" r)
-                | Error _ -> Json.Null
-              in
-              write_json (shed_response t ~id)
-            end
-          end;
-          loop ()
-        | exception End_of_file -> ()
-        | exception Sys_error _ -> ()
-    in
-    loop ();
-    Bqueue.close q
+  let transport =
+    { Session.read =
+        (fun buf off len ->
+          try input ic buf off len with End_of_file | Sys_error _ -> 0);
+      write =
+        (fun s ->
+          try
+            output_string oc s;
+            flush oc
+          with Sys_error _ ->
+            (* EPIPE: the client went away *)
+            park_stdout ();
+            raise Session.Peer_closed);
+      close = (fun () -> ()) }
   in
-  let reader_thread = Thread.create reader () in
-  (* the signal handler may only set an atomic; this watcher turns the
-     flag into a queue close so the drain loop below wakes up *)
-  let finished = Atomic.make false in
-  let watcher =
-    Thread.create
-      (fun () ->
-        while not (Atomic.get finished) && not (Atomic.get t.stop) do
-          Thread.delay 0.02
-        done;
-        Bqueue.close q)
-      ()
+  conn_opened t;
+  let s =
+    session t transport ~on_peer_gone:(fun () -> Atomic.set t.stop true)
   in
-  let rec drain () =
-    match Bqueue.pop q with
-    | Some line ->
-      write_json (handle_line t line);
-      drain ()
-    | None -> ()
-  in
-  drain ();
-  Atomic.set finished true;
-  (try Thread.join watcher with _ -> ());
-  (* the reader may still be blocked in input_line on an open pipe
-     after a signal; it is not joined — it dies with the process *)
-  if Bqueue.is_closed q && Atomic.get t.stop = false then
-    (try Thread.join reader_thread with _ -> ());
-  (* final snapshot on stderr: stdout carries only protocol responses *)
-  (try
-     prerr_endline
-       (Json.to_string (Json.Obj [ "final_stats", stats_json t ]));
-     flush stderr
-   with Sys_error _ -> ())
+  Fun.protect ~finally:(fun () -> conn_closed t) (fun () -> Session.run s);
+  print_final_stats t

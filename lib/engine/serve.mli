@@ -1,34 +1,53 @@
 (** Fault-tolerant NDJSON prediction service on top of {!Engine}.
 
-    Wire protocol (one JSON object per line):
+    Wire protocol, version {!proto_version} (one JSON object per
+    line; responses from {!run}/{!Net.run} carry ["proto"]):
     {v
     -> {"id":1,"arch":"SKL","mode":"auto","hex":"4801d8"}
-    <- {"id":1,"cycles":..,"bottlenecks":[..],"values":{..},"fe_path":..}
+    <- {"id":1,"cycles":..,"bottlenecks":[..],"values":{..},
+        "fe_path":..,"proto":1}
     -> {"id":2,"asm":"add rax, rbx"}
-    <- {"id":2,"cycles":..,...}
+    <- {"id":2,"cycles":..,...,"proto":1}
     -> {"id":3,"hex":"zz"}
-    <- {"id":3,"error":{"kind":"bad_hex","msg":..,"pos":0}}
+    <- {"id":3,"error":{"kind":"bad_hex","msg":..,"pos":0},"proto":1}
     -> {"cmd":"stats"}
     <- {"id":null,"stats":{"requests":..,"errors":..,"cache":..,
-                           "queue":..,"supervisor":..,"faults":..,
-                           "limits":..,"latency_us":..,"process":..}}
+                           "queue":..,"connections":..,"supervisor":..,
+                           "faults":..,"limits":..,"latency_us":..,
+                           "process":..},"proto":1}
+    -> {"cmd":"version"}
+    <- {"id":null,"version":{"proto":1,"name":"facile",..},"proto":1}
     v}
 
     [arch] defaults to "SKL", [mode] to "auto"; [id] is echoed
-    verbatim (any JSON value, default null).  Error kinds are the
-    {!Facile_x86.Err.kind} names (including ["too_large"] and
+    verbatim (any JSON value, default null).  A request may carry
+    ["proto"]: absent or [1] is accepted, anything else is rejected
+    with ["bad_request"].  Unknown top-level request keys are rejected
+    with a ["bad_request"] naming the offending key.  Error kinds are
+    the {!Facile_x86.Err.kind} names (including ["too_large"] and
     ["timeout"]) plus ["bad_request"], ["retry_after"] (the bounded
     request queue was full and the line was shed; the error object
-    carries a ["retry_after_ms"] hint), and ["internal"] (the
-    supervised executor crashed — a bug or an injected fault — and was
-    respawned).
+    carries a ["retry_after_ms"] hint), ["rate_limited"] (a
+    per-connection admission rate was exceeded; same hint), and
+    ["internal"] (the supervised executor crashed — a bug or an
+    injected fault — and was respawned).
 
     Robustness model: decode + predict run on a supervised executor
     domain with respawn/backoff and a circuit breaker ({!Supervise});
     requests carry an optional wall-clock deadline; input sizes are
     capped; the memo cache is a bounded LRU; EOF/SIGINT/SIGTERM/EPIPE
     all drain queued work and flush a final stats snapshot
-    ([{"final_stats":..}] on stderr) before returning. *)
+    ([{"final_stats":..}] on stderr) before returning.  A dead client
+    kills only its own session, never the process or the shared
+    executor.
+
+    One [t] serves any number of concurrent transports: {!run} drives
+    it over stdio, {!Net.run} over N TCP connections, and {!session}
+    builds a {!Session.t} over any custom transport — all sharing the
+    engine pool, memo cache, supervisor, and statistics. *)
+
+(** Version of the NDJSON wire protocol spoken by this build. *)
+val proto_version : int
 
 type limits = {
   max_line_bytes : int;   (** longest accepted request line *)
@@ -38,15 +57,33 @@ type limits = {
 
 val default_limits : limits
 
+(** Full service configuration; see {!default_config} for the
+    defaults and {!of_config} for validation. *)
+type config = {
+  workers : int option;      (** engine pool size; [None] = auto *)
+  memoize : bool;            (** memoize predictions in a bounded LRU *)
+  cache_cap : int option;    (** LRU capacity; [None] = default *)
+  deadline_ms : int option;  (** per-request budget; [None] = off *)
+  queue_cap : int;           (** per-session request queue bound *)
+  retry_after_ms : int;      (** hint sent with shed/rate_limited *)
+  limits : limits;
+  supervisor : Supervise.config;
+}
+
+val default_config : config
+
 type t
 
-(** [create ?workers ?memoize ?cache_cap ?deadline_ms ?queue_cap
-    ?limits ?supervisor ()] starts the service state, including its
-    engine pool (see {!Engine.create}) and supervised executor.
-    [deadline_ms] arms a per-request wall-clock budget ([0] means an
-    already-spent budget — every predict request answers "timeout" —
-    which the chaos harness uses); omitted, deadlines are off.
-    [queue_cap] (default 128) bounds the request queue of {!run}. *)
+(** [of_config c] starts the service state, including its engine pool
+    (see {!Engine.create}) and supervised executor.
+    [c.deadline_ms = Some 0] means an already-spent budget — every
+    predict request answers "timeout" — which the chaos harness uses.
+    @raise Invalid_argument on non-positive [queue_cap] or limits, or
+    a negative [retry_after_ms]/[deadline_ms]. *)
+val of_config : config -> t
+
+(** Deprecated spelling of {!of_config} taking the fields as optional
+    arguments; kept for embedders of the pre-TCP API. *)
 val create :
   ?workers:int ->
   ?memoize:bool ->
@@ -61,28 +98,71 @@ val create :
 (** Join the supervised executor and the engine's worker domains. *)
 val shutdown : t -> unit
 
-(** Ask a running {!run} loop to drain and return (what the
+(** Ask every serving loop on this [t] to drain and return (what the
     SIGINT/SIGTERM handlers call). *)
 val request_shutdown : t -> unit
 
+(** [true] once {!request_shutdown} (or a handled signal) asked this
+    service to stop; accept loops and sessions poll it. *)
+val stopping : t -> bool
+
 (** [handle_line t line] processes one request line and returns the
-    response object. Never raises. *)
+    response object (without the wire-layer ["proto"] tag — transports
+    add it via {!with_proto}). Never raises. *)
 val handle_line : t -> string -> Facile_obs.Json.t
+
+(** Append [("proto", proto_version)] to a response object that does
+    not already carry it; what every transport applies when
+    serializing to the wire. *)
+val with_proto : Facile_obs.Json.t -> Facile_obs.Json.t
 
 (** The service-level statistics snapshot served for
     [{"cmd":"stats"}]: request counts (total/predicted/per-arch),
     error counts by kind, cache hits/misses/evictions, queue
-    capacity/shed, supervisor respawns/crashes/degraded state,
-    per-point fault-injection counters, I/O (EPIPE) counts, the
-    configured limits, p50/p95/p99 request latency, and the global
-    span registry attributing time to model components. *)
+    capacity/shed, connection counts
+    (accepted/active/rejected/rate_limited/bytes in and out),
+    supervisor respawns/crashes/degraded state, per-point
+    fault-injection counters, I/O (EPIPE) counts, the configured
+    limits, p50/p95/p99 request latency, and the global span registry
+    attributing time to model components. *)
 val stats_json : t -> Facile_obs.Json.t
 
-(** [run ?signals t ic oc] — pipelined NDJSON request/response loop:
-    a reader thread feeds the bounded queue (shedding with
-    "retry_after" when full) while the calling thread drains it.
-    Returns after EOF, {!request_shutdown}, SIGINT/SIGTERM, or EPIPE,
-    draining queued work first.  [signals] (default [true]) installs
-    the SIGPIPE-ignore and SIGINT/SIGTERM handlers; pass [false] in
-    embedded/test use. *)
+(** {2 Transport plumbing}
+
+    Building blocks for serving loops ({!run} here, {!Net.run} for
+    TCP): connection accounting surfaced in the stats ["connections"]
+    section, and session construction over an arbitrary transport. *)
+
+val conn_opened : t -> unit
+val conn_closed : t -> unit
+
+(** Count a connection refused at the connection limit. *)
+val conn_rejected : t -> unit
+
+(** [session t transport] — a {!Session.t} speaking this service's
+    protocol over [transport]: responses carry ["proto"], lines over
+    [limits.max_line_bytes] answer ["too_large"], queue overflow
+    answers ["retry_after"], and [rate] (requests/second, off by
+    default) arms a per-session token bucket answering
+    ["rate_limited"].  Bytes and EPIPEs are accounted into [t]'s
+    shared stats; [on_peer_gone] is the session's policy hook (stdio
+    passes "stop the whole service", TCP connections pass nothing). *)
+val session :
+  ?rate:float -> ?on_peer_gone:(unit -> unit) -> t -> Session.transport ->
+  Session.t
+
+(** Install the serving signal discipline on the process: ignore
+    SIGPIPE, and turn SIGINT/SIGTERM into {!request_shutdown}. *)
+val install_signal_handlers : t -> unit
+
+(** Emit the [{"final_stats":..}] snapshot on stderr. *)
+val print_final_stats : t -> unit
+
+(** [run ?signals t ic oc] — one stdio NDJSON session: a reader
+    thread feeds the bounded queue (shedding with "retry_after" when
+    full) while the calling thread drains it.  Returns after EOF,
+    {!request_shutdown}, SIGINT/SIGTERM, or EPIPE, draining queued
+    work first and flushing final stats to stderr.  [signals] (default
+    [true]) installs the SIGPIPE-ignore and SIGINT/SIGTERM handlers;
+    pass [false] in embedded/test use. *)
 val run : ?signals:bool -> t -> in_channel -> out_channel -> unit

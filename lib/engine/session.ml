@@ -1,0 +1,243 @@
+(* One protocol session over one byte-stream transport.
+
+   Thread structure (mirrors the original stdio serve loop, now per
+   connection):
+
+     reader thread:  transport.read -> Framing -> admission/shed ->
+                     bounded queue (or inline shed/rate responses)
+     caller thread:  queue -> callbacks -> transport.write
+     watcher thread: turns stop flags into a queue close so the
+                     caller-side drain wakes up
+
+   The reader never blocks on the queue (push is non-blocking; full =
+   shed inline), the writer is serialized by a per-session mutex, and
+   a dead peer stops only this session. *)
+
+exception Peer_closed
+
+type transport = {
+  read : bytes -> int -> int -> int;
+  write : string -> unit;
+  close : unit -> unit;
+}
+
+type callbacks = {
+  on_line : string -> string;
+  on_oversized : int -> string;
+  on_shed : string -> string;
+  on_rate_limited : string -> string;
+}
+
+type sink = {
+  on_bytes_in : int -> unit;
+  on_bytes_out : int -> unit;
+  on_epipe : unit -> unit;
+}
+
+type counters = {
+  bytes_in : int;
+  bytes_out : int;
+  lines : int;
+  shed : int;
+  rate_limited : int;
+  epipe : int;
+}
+
+type event = [ `Line of string | `Oversized of int ]
+
+type t = {
+  tr : transport;
+  cb : callbacks;
+  sink : sink option;
+  should_stop : unit -> bool;
+  on_peer_gone : unit -> unit;
+  q : event Bqueue.t;
+  framing : Framing.t;
+  stop_flag : bool Atomic.t;
+  peer_gone : bool Atomic.t;
+  omu : Mutex.t;  (* serializes transport.write *)
+  (* token bucket; touched only by the reader thread *)
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last_refill_ns : int;
+  (* counters, under [cmu]: bumped from reader and caller threads *)
+  cmu : Mutex.t;
+  mutable c_bytes_in : int;
+  mutable c_bytes_out : int;
+  mutable c_lines : int;
+  mutable c_shed : int;
+  mutable c_rate_limited : int;
+  mutable c_epipe : int;
+}
+
+let create ?(queue_cap = 128) ?(rate = 0.) ?burst
+    ?(should_stop = fun () -> false) ?(on_peer_gone = fun () -> ()) ?sink
+    ~max_line_bytes cb tr =
+  if queue_cap < 1 then
+    invalid_arg (Printf.sprintf "Session.create: queue_cap = %d" queue_cap);
+  if rate < 0. || not (Float.is_finite rate) then
+    invalid_arg (Printf.sprintf "Session.create: rate = %g" rate);
+  let burst = Option.value burst ~default:(Float.max 1. rate) in
+  if rate > 0. && (burst < 1. || not (Float.is_finite burst)) then
+    invalid_arg (Printf.sprintf "Session.create: burst = %g" burst);
+  { tr;
+    cb;
+    sink;
+    should_stop;
+    on_peer_gone;
+    q = Bqueue.create queue_cap;
+    framing = Framing.create ~max_line_bytes;
+    stop_flag = Atomic.make false;
+    peer_gone = Atomic.make false;
+    omu = Mutex.create ();
+    rate;
+    burst;
+    tokens = burst;
+    last_refill_ns = Facile_obs.Clock.now_ns ();
+    cmu = Mutex.create ();
+    c_bytes_in = 0;
+    c_bytes_out = 0;
+    c_lines = 0;
+    c_shed = 0;
+    c_rate_limited = 0;
+    c_epipe = 0 }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  Bqueue.close t.q
+
+let stopped t = Atomic.get t.stop_flag || Atomic.get t.peer_gone
+
+let counters t =
+  Mutex.lock t.cmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cmu) @@ fun () ->
+  { bytes_in = t.c_bytes_in;
+    bytes_out = t.c_bytes_out;
+    lines = t.c_lines;
+    shed = t.c_shed;
+    rate_limited = t.c_rate_limited;
+    epipe = t.c_epipe }
+
+let counted t f =
+  Mutex.lock t.cmu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cmu) f
+
+(* Refill-then-take token bucket; only the reader thread calls this,
+   so the float state needs no lock. *)
+let admit t =
+  if t.rate <= 0. then true
+  else begin
+    let now = Facile_obs.Clock.now_ns () in
+    let dt_s = float_of_int (now - t.last_refill_ns) /. 1e9 in
+    t.last_refill_ns <- now;
+    t.tokens <- Float.min t.burst (t.tokens +. (dt_s *. t.rate));
+    if t.tokens >= 1. then begin
+      t.tokens <- t.tokens -. 1.;
+      true
+    end
+    else false
+  end
+
+(* Serialized response write.  A failed write means the peer is gone:
+   count it, run the policy hook, and stop this session — queued work
+   is dropped on the floor because there is nobody left to read it. *)
+let write_resp t s =
+  Mutex.lock t.omu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.omu) @@ fun () ->
+  if not (Atomic.get t.peer_gone) then begin
+    match t.tr.write (s ^ "\n") with
+    | () ->
+      let n = String.length s + 1 in
+      counted t (fun () -> t.c_bytes_out <- t.c_bytes_out + n);
+      (match t.sink with Some k -> k.on_bytes_out n | None -> ())
+    | exception (Peer_closed | Sys_error _ | Unix.Unix_error _) ->
+      Atomic.set t.peer_gone true;
+      counted t (fun () -> t.c_epipe <- t.c_epipe + 1);
+      (match t.sink with Some k -> k.on_epipe () | None -> ());
+      (try t.on_peer_gone () with _ -> ());
+      stop t
+  end
+
+let dispatch t = function
+  | Framing.Line l ->
+    if String.trim l <> "" then begin
+      counted t (fun () -> t.c_lines <- t.c_lines + 1);
+      if admit t then begin
+        if not (Bqueue.push t.q (`Line l)) && not (Bqueue.is_closed t.q)
+        then begin
+          (* shed inline from the reader so the queue stays bounded *)
+          counted t (fun () -> t.c_shed <- t.c_shed + 1);
+          write_resp t (t.cb.on_shed l)
+        end
+      end
+      else begin
+        counted t (fun () -> t.c_rate_limited <- t.c_rate_limited + 1);
+        write_resp t (t.cb.on_rate_limited l)
+      end
+    end
+  | Framing.Oversized n ->
+    if not (Bqueue.push t.q (`Oversized n)) && not (Bqueue.is_closed t.q)
+    then write_resp t (t.cb.on_oversized n)
+
+let run t =
+  let eof = Atomic.make false in
+  let reader () =
+    let buf = Bytes.create 65536 in
+    let rec loop () =
+      if not (stopped t || t.should_stop ()) then begin
+        match t.tr.read buf 0 (Bytes.length buf) with
+        | 0 -> Atomic.set eof true
+        | n ->
+          counted t (fun () -> t.c_bytes_in <- t.c_bytes_in + n);
+          (match t.sink with Some k -> k.on_bytes_in n | None -> ());
+          List.iter (dispatch t) (Framing.feed t.framing buf 0 n);
+          loop ()
+        | exception End_of_file -> Atomic.set eof true
+        | exception Sys_error _ -> Atomic.set eof true
+        | exception Unix.Unix_error _ -> Atomic.set eof true
+      end
+    in
+    loop ();
+    (* like input_line: trailing bytes with no '\n' are still a line *)
+    if Atomic.get eof then
+      Option.iter (dispatch t) (Framing.finish t.framing);
+    Bqueue.close t.q
+  in
+  let reader_thread = Thread.create reader () in
+  (* stop flags may be set from signal handlers or other sessions'
+     threads; this watcher turns them into a queue close so the drain
+     below wakes up *)
+  let finished = Atomic.make false in
+  let watcher =
+    Thread.create
+      (fun () ->
+        while
+          (not (Atomic.get finished))
+          && (not (stopped t))
+          && not (t.should_stop ())
+        do
+          Thread.delay 0.02
+        done;
+        Bqueue.close t.q)
+      ()
+  in
+  let rec drain () =
+    match Bqueue.pop t.q with
+    | Some (`Line l) ->
+      write_resp t (t.cb.on_line l);
+      drain ()
+    | Some (`Oversized n) ->
+      write_resp t (t.cb.on_oversized n);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set finished true;
+  (try Thread.join watcher with _ -> ());
+  (* the reader is joined only when it provably finished (end of
+     stream); after a signal it may still be blocked in a read on an
+     open stream — the transport owner is responsible for shutting
+     the stream down if it wants the thread back *)
+  if Atomic.get eof then (try Thread.join reader_thread with _ -> ());
+  try t.tr.close () with _ -> ()

@@ -1,0 +1,112 @@
+(** Transport-agnostic NDJSON protocol session.
+
+    A session owns one side of a byte-stream conversation: it
+    reassembles chunked input into request lines ({!Framing}), applies
+    per-session admission (a token-bucket request rate) and
+    backpressure (a bounded request queue, shed inline when full),
+    dispatches complete lines to protocol callbacks, and writes the
+    responses back — one line each — under a per-session write lock.
+
+    The session knows nothing about sockets, pipes, or the prediction
+    protocol: the transport is three functions over bytes, and the
+    protocol is four callbacks from line to response string.  The
+    stdio serving loop ({!Serve.run}) and every TCP connection
+    ({!Net.run}) are the same [Session.run] over different transports
+    against one shared {!Serve.t} core.
+
+    Failure model: a write that finds the peer gone ({!Peer_closed},
+    [EPIPE]/[ECONNRESET] mapped by the transport) stops *this* session
+    only — it is counted in the session's [epipe] counter, the
+    optional [on_peer_gone] policy hook runs, and [run] drains and
+    returns normally.  Nothing here ever raises out of {!run}. *)
+
+(** Raised by [transport.write] when the peer has closed the
+    connection; the transport must map its I/O errors ([EPIPE],
+    [ECONNRESET], [Sys_error] on a broken pipe) to this. *)
+exception Peer_closed
+
+type transport = {
+  read : bytes -> int -> int -> int;
+      (** [read buf off len] — blocking partial read; [0] means end of
+          stream (transports map connection-reset errors on the read
+          side to end-of-stream too). *)
+  write : string -> unit;
+      (** Write a complete response chunk (the session appends the
+          ['\n'] itself).  Raises {!Peer_closed} when the peer went
+          away. *)
+  close : unit -> unit;
+      (** Release the underlying channel; called once when {!run}
+          finishes.  Must not raise. *)
+}
+
+(** The protocol half, supplied by the serving core.  Every callback
+    returns the complete response line (without trailing newline). *)
+type callbacks = {
+  on_line : string -> string;          (** a complete request line *)
+  on_oversized : int -> string;        (** a discarded over-cap line *)
+  on_shed : string -> string;          (** queue full: shed this line *)
+  on_rate_limited : string -> string;  (** admission rate exceeded *)
+}
+
+(** Live accounting hooks for aggregating into shared service stats;
+    all optional, all called from session threads. *)
+type sink = {
+  on_bytes_in : int -> unit;
+  on_bytes_out : int -> unit;
+  on_epipe : unit -> unit;
+}
+
+(** Snapshot of this session's transport-level counters. *)
+type counters = {
+  bytes_in : int;       (** raw bytes read, including newlines *)
+  bytes_out : int;      (** raw bytes written, including newlines *)
+  lines : int;          (** non-blank request lines seen *)
+  shed : int;           (** lines shed by the full request queue *)
+  rate_limited : int;   (** lines refused by the rate limiter *)
+  epipe : int;          (** writes that found the peer gone *)
+}
+
+type t
+
+(** [create ~max_line_bytes callbacks transport] — a fresh session.
+
+    [queue_cap] (default 128) bounds the in-session request queue;
+    when it is full, lines are answered inline with [on_shed].
+    [rate] > 0 arms a token-bucket admission limit of [rate] requests
+    per second with burst capacity [burst] (default
+    [max 1. rate]); refused lines are answered inline with
+    [on_rate_limited].  [should_stop] is polled (by a watcher thread
+    and the reader) so a process-wide shutdown flag also stops the
+    session.  [on_peer_gone] runs once if a write finds the peer
+    closed — transport policy like "stdio client vanished: stop the
+    whole process" lives there.
+    @raise Invalid_argument if [queue_cap < 1], [rate < 0], or
+    [burst < 1] when a rate is set. *)
+val create :
+  ?queue_cap:int ->
+  ?rate:float ->
+  ?burst:float ->
+  ?should_stop:(unit -> bool) ->
+  ?on_peer_gone:(unit -> unit) ->
+  ?sink:sink ->
+  max_line_bytes:int ->
+  callbacks ->
+  transport ->
+  t
+
+(** Drive the session to completion: a reader thread feeds the queue
+    through the framer while the calling thread answers.  Returns
+    after end-of-stream, {!stop}, [should_stop ()], or a closed peer —
+    always draining already-queued requests first (per-connection
+    graceful drain).  Never raises. *)
+val run : t -> unit
+
+(** Ask a running session to stop reading and drain: queued requests
+    are still answered, then {!run} returns.  Safe from any thread;
+    idempotent. *)
+val stop : t -> unit
+
+(** [true] once {!stop} was called or the peer went away. *)
+val stopped : t -> bool
+
+val counters : t -> counters

@@ -52,6 +52,7 @@ type worker = {
 type t = {
   cfg : config;
   mu : Mutex.t;
+  run_mu : Mutex.t;  (* serializes dispatch onto the single executor *)
   mutable worker : worker option;
   mutable respawns : int;
   mutable crashes : int;
@@ -96,7 +97,8 @@ let spawn_worker () =
 
 let create ?(config = default_config) () =
   if config.max_respawns < 1 then invalid_arg "Supervise: max_respawns < 1";
-  { cfg = config; mu = Mutex.create (); worker = Some (spawn_worker ());
+  { cfg = config; mu = Mutex.create (); run_mu = Mutex.create ();
+    worker = Some (spawn_worker ());
     respawns = 0; crashes = 0; recent = []; backoff_ns = config.backoff_base_ns;
     retry_at_ns = 0; degraded_until_ns = 0; is_degraded = false;
     degraded_transitions = 0; inline_runs = 0; last_crash = None;
@@ -182,10 +184,20 @@ let acquire t =
   Mutex.unlock t.mu;
   w
 
+(* [run] is safe for concurrent callers (one per live connection):
+   there is one executor domain, so dispatch-and-wait is serialized on
+   [run_mu] — acquire and post must be one atomic step, or caller B
+   could overwrite caller A's pending job, or post to a worker A just
+   declared dead.  The degraded/backing-off inline path runs outside
+   the lock: guarded inline jobs cannot interfere with each other. *)
 let run t f =
+  Mutex.lock t.run_mu;
   match acquire t with
-  | None -> (match f () with v -> Ok v | exception e -> Error e)
+  | None ->
+    Mutex.unlock t.run_mu;
+    (match f () with v -> Ok v | exception e -> Error e)
   | Some w ->
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.run_mu) @@ fun () ->
     let smu = Mutex.create () in
     let scond = Condition.create () in
     let result = ref None in

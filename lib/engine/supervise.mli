@@ -8,8 +8,10 @@
     thread — after [max_respawns] crashes inside [window_ns], closing
     again after [cooldown_ns].
 
-    [run] expects a single dispatcher thread (the serve handler loop);
-    it is not a general-purpose thread-safe job pool. *)
+    [run] is safe to call from concurrent dispatcher threads (one per
+    serving connection); jobs are serialized onto the single executor
+    domain, and degraded/backing-off jobs run guarded inline on their
+    own caller. *)
 
 type config = {
   max_respawns : int;     (** breaker threshold within [window_ns] *)

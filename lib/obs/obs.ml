@@ -105,6 +105,7 @@ let counter name =
         c)
 
 let incr ?(by = 1) name = ignore (Atomic.fetch_and_add (counter name) by)
+let decr ?(by = 1) name = ignore (Atomic.fetch_and_add (counter name) (-by))
 let counter_value name = Atomic.get (counter name)
 
 (* Time [f] into [h]; the sample is recorded even when [f] raises, so

@@ -388,6 +388,358 @@ let phase_breaker () =
     checkf "degraded work ran inline"
       (get_int [ "supervisor"; "inline_runs" ] s > 0) "none inline"
 
+(* ----- TCP serving tier ----- *)
+
+(* Same record convention as bench/experiments.ml: one `BENCH {...}`
+   line on stdout and the JSON persisted to BENCH_<name>.json in
+   $FACILE_BENCH_DIR (default: the working directory). *)
+let bench_record name fields =
+  let line = Json.to_string (Json.Obj (("name", Json.Str name) :: fields)) in
+  Printf.printf "BENCH %s\n%!" line;
+  let dir =
+    match Sys.getenv_opt "FACILE_BENCH_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> Filename.current_dir_name
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+  let oc = open_out path in
+  output_string oc line;
+  output_char oc '\n';
+  close_out oc
+
+type tcp_server = {
+  pid : int;
+  port : int;
+  err_thread : Thread.t;
+  errbuf : Buffer.t;
+  emu : Mutex.t;
+}
+
+(* Start `facile serve --tcp 127.0.0.1:0 ...` and wait for the
+   ephemeral port announced as {"listening":"host:port"} on stderr. *)
+let spawn_tcp ?(env = []) args =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let err_r, err_w = Unix.pipe ~cloexec:true () in
+  let env_array =
+    Array.append (Unix.environment ())
+      (Array.of_list (List.map (fun (k, v) -> k ^ "=" ^ v) env))
+  in
+  let argv =
+    Array.of_list (bin :: "serve" :: "--tcp" :: "127.0.0.1:0" :: args)
+  in
+  let pid = Unix.create_process_env bin argv env_array devnull out_w err_w in
+  Unix.close devnull;
+  Unix.close out_w;
+  Unix.close err_w;
+  (* stdout stays silent in TCP mode; drain it so the child never
+     blocks on a full pipe *)
+  ignore
+    (Thread.create
+       (fun () ->
+         let ic = Unix.in_channel_of_descr out_r in
+         (try
+            while true do
+              ignore (input_line ic)
+            done
+          with End_of_file -> ());
+         close_in ic)
+       ());
+  let port = ref None in
+  let pmu = Mutex.create () in
+  let errbuf = Buffer.create 4096 in
+  let emu = Mutex.create () in
+  let err_thread =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr err_r in
+        (try
+           while true do
+             let l = input_line ic in
+             (match Json.parse l with
+              | Ok j ->
+                (match Json.member "listening" j with
+                 | Some (Json.Str hp) ->
+                   (match String.rindex_opt hp ':' with
+                    | Some i ->
+                      let p =
+                        int_of_string
+                          (String.sub hp (i + 1) (String.length hp - i - 1))
+                      in
+                      Mutex.lock pmu;
+                      port := Some p;
+                      Mutex.unlock pmu
+                    | None -> ())
+                 | _ -> ())
+              | Error _ -> ());
+             Mutex.lock emu;
+             Buffer.add_string errbuf l;
+             Buffer.add_char errbuf '\n';
+             Mutex.unlock emu
+           done
+         with End_of_file -> ());
+        close_in ic)
+      ()
+  in
+  let rec wait_port n =
+    if n = 0 then failwith "TCP server never announced its port";
+    Mutex.lock pmu;
+    let p = !port in
+    Mutex.unlock pmu;
+    match p with
+    | Some p -> p
+    | None ->
+      Thread.delay 0.05;
+      wait_port (n - 1)
+  in
+  let p = wait_port 100 in
+  { pid; port = p; err_thread; errbuf; emu }
+
+(* SIGTERM the server, reap it, and return (exit_code, final_stats). *)
+let stop_tcp s =
+  (try Unix.kill s.pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] s.pid in
+  Thread.join s.err_thread;
+  let exit_code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED n -> 128 + n
+    | Unix.WSTOPPED n -> 256 + n
+  in
+  Mutex.lock s.emu;
+  let err = Buffer.contents s.errbuf in
+  Mutex.unlock s.emu;
+  let final_stats =
+    String.split_on_char '\n' err
+    |> List.find_map (fun l ->
+           match Json.parse l with
+           | Ok j -> Json.member "final_stats" j
+           | Error _ -> None)
+  in
+  (exit_code, final_stats)
+
+let server_alive s =
+  match Unix.kill s.pid 0 with
+  | () -> true
+  | exception Unix.Unix_error _ -> false
+
+(* One TCP client conversation: send every request (optionally paced),
+   half-close, collect every response line until the server's EOF.  A
+   concurrent reader thread keeps both socket directions draining so
+   neither side can deadlock on full kernel buffers. *)
+let tcp_client ?(pace = 0.) port requests =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let lines = ref [] in
+  let reader =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file | Sys_error _ -> ())
+      ()
+  in
+  let send s =
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then go (off + Unix.write fd b off (n - off))
+    in
+    go 0
+  in
+  (try
+     List.iter
+       (fun r ->
+         send (r ^ "\n");
+         if pace > 0. then Thread.delay pace)
+       requests;
+     Unix.shutdown fd Unix.SHUTDOWN_SEND
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Thread.join reader;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  List.rev !lines
+
+let tcp_get_stats port =
+  match tcp_client port [ {|{"cmd":"stats"}|} ] with
+  | [ l ] ->
+    (match Json.member "stats" (parse_resp l) with
+     | Some s -> s
+     | None -> failwith "stats response without stats member")
+  | ls -> failwith (Printf.sprintf "%d responses to one stats probe"
+                      (List.length ls))
+
+let phase_tcp_storm () =
+  let clients = 32 and per = 150 in
+  Printf.printf "phase: TCP storm (%d concurrent clients, faults armed)\n%!"
+    clients;
+  let s =
+    spawn_tcp ~env:[ "FACILE_FAULT", "decode:0.02:7,predict:0.02:11,respond:0.01:13" ]
+      soak_args
+  in
+  let results = Array.make clients [] in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            (* mixed valid/garbage/oversized traffic, distinct id
+               ranges per client; light pacing lets crashed executors
+               respawn, as in the stdio fault phase *)
+            let rng = mk_rng (Int64.of_int (100 + c)) in
+            let reqs =
+              List.init per (fun i ->
+                  mixed_request rng ((1_000_000 * (c + 1)) + i))
+            in
+            results.(c) <- tcp_client ~pace:0.002 s.port reqs)
+          ())
+  in
+  List.iter Thread.join threads;
+  check "server alive after the storm" (server_alive s);
+  Array.iteri
+    (fun c lines ->
+      checkf
+        (Printf.sprintf "client %d: every line answered" c)
+        (List.length lines = per)
+        "%d responses for %d requests" (List.length lines) per;
+      List.iter (fun l -> ignore (parse_resp l)) lines)
+    results;
+  (* responses carry the protocol version on the wire *)
+  let tagged =
+    Array.for_all
+      (List.for_all (fun l ->
+           Option.bind (Json.member "proto" (parse_resp l)) Json.int_opt
+           = Some 1))
+      results
+  in
+  check "every response carries proto 1" tagged;
+  let live = tcp_get_stats s.port in
+  checkf "connections accounted"
+    (get_int [ "connections"; "accepted" ] live >= clients)
+    "accepted=%d" (get_int [ "connections"; "accepted" ] live);
+  check "bytes accounted"
+    (get_int [ "connections"; "bytes_in" ] live > 0
+     && get_int [ "connections"; "bytes_out" ] live > 0);
+  (* graceful SIGTERM drain with a client still connected and idle *)
+  let idle = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect idle (Unix.ADDR_INET (Unix.inet_addr_loopback, s.port));
+  Thread.delay 0.1;
+  let exit_code, final = stop_tcp s in
+  check "exit 0 on SIGTERM with open connections" (exit_code = 0);
+  (* the drained server closed the idle connection cleanly *)
+  let saw_eof =
+    let buf = Bytes.create 64 in
+    match Unix.read idle buf 0 64 with
+    | 0 -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> true
+  in
+  check "idle connection drained to EOF" saw_eof;
+  (try Unix.close idle with Unix.Unix_error _ -> ());
+  match final with
+  | None -> check "final stats flushed on SIGTERM" false
+  | Some f ->
+    checkf "final stats count every connection"
+      (get_int [ "connections"; "accepted" ] f >= clients + 1)
+      "accepted=%d" (get_int [ "connections"; "accepted" ] f);
+    checkf "no connection left active"
+      (get_int [ "connections"; "active" ] f = 0)
+      "active=%d" (get_int [ "connections"; "active" ] f);
+    let injected p = get_int [ "faults"; p; "injected" ] f in
+    checkf "faults actually injected over TCP"
+      (injected "decode" + injected "predict" + injected "respond" > 0)
+      "none injected"
+
+let phase_tcp_rate () =
+  Printf.printf "phase: TCP per-connection rate limit (--conn-rate 20)\n%!";
+  let s = spawn_tcp [ "--conn-rate"; "20"; "--queue"; "100000" ] in
+  let n = 200 in
+  let flood =
+    List.init n (fun i ->
+        Json.to_string (Json.Obj [ "id", Json.Int i; "hex", Json.Str "90" ]))
+  in
+  let lines = tcp_client s.port flood in
+  checkf "flood fully answered" (List.length lines = n) "%d responses"
+    (List.length lines);
+  let limited =
+    List.length
+      (List.filter (fun l -> error_kind (parse_resp l) = Some "rate_limited")
+         lines)
+  in
+  checkf "flooding client rate limited" (limited > 0) "no rate_limited";
+  (* a polite client on its own connection has its own bucket *)
+  let polite =
+    tcp_client ~pace:0.06 s.port
+      (List.init 20 (fun i ->
+           Json.to_string
+             (Json.Obj [ "id", Json.Int (1000 + i); "hex", Json.Str "90" ])))
+  in
+  check "polite client not limited"
+    (List.for_all
+       (fun l -> error_kind (parse_resp l) <> Some "rate_limited")
+       polite);
+  let exit_code, final = stop_tcp s in
+  check "exit 0 after rate limiting" (exit_code = 0);
+  match final with
+  | None -> check "final stats flushed" false
+  | Some f ->
+    (* every refusal the client saw is accounted, nothing more *)
+    checkf "per-connection refusals match final stats"
+      (get_int [ "connections"; "rate_limited" ] f = limited)
+      "stats=%d observed=%d"
+      (get_int [ "connections"; "rate_limited" ] f)
+      limited;
+    checkf "refusals typed in the error taxonomy"
+      (get_int [ "errors"; "by_kind"; "rate_limited" ] f = limited)
+      "by_kind disagrees"
+
+let phase_tcp_bench () =
+  Printf.printf "phase: TCP throughput (1 vs 32 clients, fault-free)\n%!";
+  let s = spawn_tcp [ "--queue"; "100000" ] in
+  let valid_req id =
+    Json.to_string
+      (Json.Obj
+         [ "id", Json.Int id;
+           "hex",
+           Json.Str valid_hexes.(id mod Array.length valid_hexes) ])
+  in
+  let n1 = 400 in
+  let t0 = Unix.gettimeofday () in
+  let lines1 = tcp_client s.port (List.init n1 valid_req) in
+  let wall1 = Unix.gettimeofday () -. t0 in
+  checkf "bench: single client answered" (List.length lines1 = n1)
+    "%d responses" (List.length lines1);
+  let rps1 = float_of_int n1 /. wall1 in
+  let clients = 32 and per = 150 in
+  let results = Array.make clients 0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun c ->
+        Thread.create
+          (fun () ->
+            let reqs =
+              List.init per (fun i -> valid_req ((1_000_000 * (c + 1)) + i))
+            in
+            results.(c) <- List.length (tcp_client s.port reqs))
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall32 = Unix.gettimeofday () -. t0 in
+  check "bench: every storm line answered"
+    (Array.for_all (fun n -> n = per) results);
+  let rps32 = float_of_int (clients * per) /. wall32 in
+  let exit_code, _ = stop_tcp s in
+  check "bench: clean exit" (exit_code = 0);
+  bench_record "serve_tcp"
+    [ "clients", Json.Int clients;
+      "requests_1", Json.Int n1;
+      "requests_32", Json.Int (clients * per);
+      "rps_1", Json.Float (Float.round rps1);
+      "rps_32", Json.Float (Float.round rps32);
+      "wall_1_s", Json.Float wall1;
+      "wall_32_s", Json.Float wall32 ]
+
 let phase_lru () =
   Printf.printf "phase: bounded cache churn (--cache-cap 64)\n%!";
   let n = 200 in
@@ -420,6 +772,9 @@ let () =
   phase_sigterm ();
   phase_breaker ();
   phase_lru ();
+  phase_tcp_storm ();
+  phase_tcp_rate ();
+  phase_tcp_bench ();
   Printf.printf "chaos: %s in %.1fs\n%!"
     (if !failures = 0 then "all phases passed"
      else Printf.sprintf "%d FAILURES" !failures)

@@ -1,0 +1,507 @@
+(* The network serving tier: chunked line framing, the versioned wire
+   protocol, the Session layer over socketpairs (concurrent clients,
+   rate limiting, EPIPE isolation), and the real TCP listener. *)
+
+open Facile_engine
+module Json = Facile_obs.Json
+
+(* a test that writes into sockets the peer may have closed must not
+   die of SIGPIPE *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ----- framing ----- *)
+
+(* Reference semantics: every '\n'-terminated line is one event (Line
+   under the cap, Oversized over it), a non-empty unterminated tail is
+   flushed by [finish]. *)
+let expected_events cap lines tail =
+  List.map
+    (fun l ->
+      if String.length l > cap then Framing.Oversized (String.length l)
+      else Framing.Line l)
+    lines
+  @
+  if tail = "" then []
+  else if String.length tail > cap then [ Framing.Oversized (String.length tail) ]
+  else [ Framing.Line tail ]
+
+let feed_chunked seed cap stream =
+  let f = Framing.create ~max_line_bytes:cap in
+  let events = ref [] in
+  let state = ref (seed lor 1) in
+  let next_size () =
+    (* xorshift; chunk sizes 1..8 exercise every split position *)
+    state := !state lxor (!state lsl 13);
+    state := !state lxor (!state lsr 7);
+    state := !state lxor (!state lsl 17);
+    1 + (abs !state mod 8)
+  in
+  let n = String.length stream in
+  let i = ref 0 in
+  while !i < n do
+    let len = min (next_size ()) (n - !i) in
+    events := !events @ Framing.feed_string f (String.sub stream !i len);
+    i := !i + len
+  done;
+  (match Framing.finish f with Some e -> events := !events @ [ e ] | None -> ());
+  !events
+
+let pp_event = function
+  | Framing.Line l -> Printf.sprintf "Line %S" l
+  | Framing.Oversized n -> Printf.sprintf "Oversized %d" n
+
+let qcheck_framing =
+  let gen =
+    QCheck.Gen.(
+      let line_char = map (fun c -> if c = '\n' then ' ' else c) char in
+      let line = string_size (0 -- 40) ~gen:line_char in
+      quad (list_size (0 -- 12) line) line int (2 -- 16))
+  in
+  QCheck.Test.make ~count:500
+    ~name:"framing: random chunk splits reassemble the line sequence"
+    (QCheck.make gen ~print:(fun (lines, tail, seed, cap) ->
+         Printf.sprintf "lines=[%s] tail=%S seed=%d cap=%d"
+           (String.concat ";" (List.map (Printf.sprintf "%S") lines))
+           tail seed cap))
+    (fun (lines, tail, seed, cap) ->
+      let stream =
+        String.concat "" (List.map (fun l -> l ^ "\n") lines) ^ tail
+      in
+      feed_chunked seed cap stream = expected_events cap lines tail)
+
+let framing_unit_tests =
+  [ Alcotest.test_case "oversized line spanning 1-byte chunks" `Quick
+      (fun () ->
+        let f = Framing.create ~max_line_bytes:8 in
+        let events = ref [] in
+        String.iter
+          (fun c ->
+            events := !events @ Framing.feed_string f (String.make 1 c))
+          "AAAAAAAAAAAA\nBB\n";
+        Alcotest.(check (list string))
+          "events"
+          [ "Oversized 12"; "Line \"BB\"" ]
+          (List.map pp_event !events);
+        Alcotest.(check int) "nothing buffered" 0 (Framing.buffered f));
+    Alcotest.test_case "cap boundary: exactly cap is a line" `Quick
+      (fun () ->
+        let f = Framing.create ~max_line_bytes:4 in
+        Alcotest.(check (list string))
+          "at cap" [ "Line \"AAAA\"" ]
+          (List.map pp_event (Framing.feed_string f "AAAA\n"));
+        Alcotest.(check (list string))
+          "over cap" [ "Oversized 5" ]
+          (List.map pp_event (Framing.feed_string f "AAAAA\n")));
+    Alcotest.test_case "finish flushes the unterminated tail" `Quick
+      (fun () ->
+        let f = Framing.create ~max_line_bytes:64 in
+        ignore (Framing.feed_string f "abc");
+        (match Framing.finish f with
+         | Some (Framing.Line "abc") -> ()
+         | e ->
+           Alcotest.failf "expected Line \"abc\", got %s"
+             (match e with Some e -> pp_event e | None -> "None"));
+        Alcotest.(check bool) "empty finish" true (Framing.finish f = None));
+    Alcotest.test_case "invalid arguments rejected" `Quick (fun () ->
+        Alcotest.check_raises "cap 0" (Invalid_argument
+                                         "Framing.create: max_line_bytes = 0")
+          (fun () -> ignore (Framing.create ~max_line_bytes:0));
+        let f = Framing.create ~max_line_bytes:8 in
+        Alcotest.check_raises "bad range"
+          (Invalid_argument "Framing.feed: invalid range") (fun () ->
+            ignore (Framing.feed f (Bytes.create 4) 2 3))) ]
+
+(* ----- protocol versioning ----- *)
+
+let kind_of resp =
+  match Json.member "error" resp with
+  | Some e -> Option.bind (Json.member "kind" e) Json.string_opt
+  | None -> None
+
+let msg_of resp =
+  match Json.member "error" resp with
+  | Some e -> Option.bind (Json.member "msg" e) Json.string_opt
+  | None -> None
+
+let protocol_tests serve =
+  [ Alcotest.test_case "cmd version reports the protocol" `Quick (fun () ->
+        let resp = Serve.handle_line serve {|{"cmd":"version"}|} in
+        match Json.member "version" resp with
+        | None -> Alcotest.fail "no version member"
+        | Some v ->
+          Alcotest.(check (option int))
+            "proto" (Some Serve.proto_version)
+            (Option.bind (Json.member "proto" v) Json.int_opt);
+          Alcotest.(check (option string))
+            "name" (Some "facile")
+            (Option.bind (Json.member "name" v) Json.string_opt));
+    Alcotest.test_case "unknown request keys are rejected by name" `Quick
+      (fun () ->
+        let resp = Serve.handle_line serve {|{"id":7,"hex":"90","bogus":1}|} in
+        Alcotest.(check (option string))
+          "kind" (Some "bad_request") (kind_of resp);
+        let msg = Option.value ~default:"" (msg_of resp) in
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s
+            && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "msg %S names the key" msg)
+          true (contains msg "bogus"));
+    Alcotest.test_case "wrong proto rejected, proto 1 accepted" `Quick
+      (fun () ->
+        let bad = Serve.handle_line serve {|{"proto":2,"hex":"90"}|} in
+        Alcotest.(check (option string))
+          "kind" (Some "bad_request") (kind_of bad);
+        let ok = Serve.handle_line serve {|{"proto":1,"hex":"90"}|} in
+        Alcotest.(check bool)
+          "proto 1 predicts" true
+          (Json.member "cycles" ok <> None));
+    Alcotest.test_case "with_proto tags the wire, not handle_line" `Quick
+      (fun () ->
+        let resp = Serve.handle_line serve {|{"hex":"90"}|} in
+        Alcotest.(check bool)
+          "handle_line untagged" true
+          (Json.member "proto" resp = None);
+        Alcotest.(check (option int))
+          "with_proto appends" (Some Serve.proto_version)
+          (Option.bind (Json.member "proto" (Serve.with_proto resp))
+             Json.int_opt);
+        (* idempotent: an already-tagged object is left alone *)
+        Alcotest.(check bool)
+          "idempotent" true
+          (Serve.with_proto (Serve.with_proto resp)
+           = Serve.with_proto resp)) ]
+
+let config_tests =
+  [ Alcotest.test_case "of_config and create agree" `Quick (fun () ->
+        let t =
+          Serve.of_config
+            { Serve.default_config with Serve.workers = Some 1;
+              deadline_ms = Some 0 }
+        in
+        Fun.protect ~finally:(fun () -> Serve.shutdown t) @@ fun () ->
+        let resp = Serve.handle_line t {|{"hex":"4801d8"}|} in
+        Alcotest.(check (option string)) "deadline 0 times out"
+          (Some "timeout") (kind_of resp));
+    Alcotest.test_case "invalid configs are rejected" `Quick (fun () ->
+        List.iter
+          (fun cfg ->
+            match Serve.of_config cfg with
+            | t ->
+              Serve.shutdown t;
+              Alcotest.fail "config accepted"
+            | exception Invalid_argument _ -> ())
+          [ { Serve.default_config with Serve.queue_cap = 0 };
+            { Serve.default_config with Serve.retry_after_ms = -1 };
+            { Serve.default_config with
+              Serve.limits =
+                { Serve.default_limits with Serve.max_line_bytes = 0 } } ]) ]
+
+(* ----- session over socketpairs ----- *)
+
+let socketpair () =
+  Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let send_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+(* read lines from [fd] until EOF *)
+let recv_lines fd =
+  let f = Framing.create ~max_line_bytes:(1 lsl 20) in
+  let buf = Bytes.create 4096 in
+  let lines = ref [] in
+  let add = function
+    | Framing.Line l -> lines := l :: !lines
+    | Framing.Oversized _ -> ()
+  in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+      List.iter add (Framing.feed f buf 0 n);
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+  in
+  loop ();
+  Option.iter add (Framing.finish f);
+  List.rev !lines
+
+let parse_line l =
+  match Json.parse l with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "bad response line %S: %s" l m
+
+(* Run one client against [serve] over a socketpair: send [payload],
+   close the send side, collect every response line.  The session runs
+   on its own thread, exactly as a TCP connection does under Net. *)
+let with_session_client ?rate serve ~payload =
+  let server_fd, client_fd = socketpair () in
+  let session = Serve.session ?rate serve (Net.fd_transport server_fd) in
+  Serve.conn_opened serve;
+  let th =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Serve.conn_closed serve)
+          (fun () -> Session.run session))
+      ()
+  in
+  send_all client_fd payload;
+  Unix.shutdown client_fd Unix.SHUTDOWN_SEND;
+  let lines = recv_lines client_fd in
+  Thread.join th;
+  (try Unix.close client_fd with Unix.Unix_error _ -> ());
+  (lines, Session.counters session)
+
+let session_tests serve =
+  [ Alcotest.test_case "concurrent clients share one core" `Quick (fun () ->
+        let payload c =
+          String.concat ""
+            (List.init 20 (fun i ->
+                 Printf.sprintf {|{"id":%d,"hex":"4801d8"}|} ((100 * c) + i)
+                 ^ "\n"))
+          ^ {|{"cmd":"stats"}|} ^ "\n"
+        in
+        let results = Array.make 3 ([], None) in
+        let clients =
+          List.init 3 (fun c ->
+              Thread.create
+                (fun () ->
+                  let lines, _ = with_session_client serve
+                                   ~payload:(payload c) in
+                  results.(c) <- (lines, None))
+                ())
+        in
+        List.iter Thread.join clients;
+        Array.iteri
+          (fun c (lines, _) ->
+            Alcotest.(check int)
+              (Printf.sprintf "client %d answered" c)
+              21 (List.length lines);
+            (* every response carries the proto tag on the wire *)
+            List.iter
+              (fun l ->
+                Alcotest.(check (option int))
+                  "proto" (Some Serve.proto_version)
+                  (Option.bind (Json.member "proto" (parse_line l))
+                     Json.int_opt))
+              lines;
+            (* ids of prediction responses come back in order *)
+            let ids =
+              List.filter_map
+                (fun l ->
+                  let j = parse_line l in
+                  if Json.member "stats" j <> None then None
+                  else Option.bind (Json.member "id" j) Json.int_opt)
+                lines
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "client %d ids ordered" c)
+              (List.init 20 (fun i -> (100 * c) + i))
+              ids)
+          results);
+    Alcotest.test_case "a flooding client is rate limited, and counted"
+      `Quick (fun () ->
+        let n = 30 in
+        let payload =
+          String.concat ""
+            (List.init n (fun i ->
+                 Printf.sprintf {|{"id":%d,"hex":"90"}|} i ^ "\n"))
+        in
+        let lines, counters =
+          with_session_client ~rate:2.0 serve ~payload
+        in
+        Alcotest.(check int) "every request answered" n (List.length lines);
+        let limited =
+          List.length
+            (List.filter
+               (fun l -> kind_of (parse_line l) = Some "rate_limited")
+               lines)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d of %d rate limited" limited n)
+          true
+          (limited >= n - 10 && limited < n);
+        Alcotest.(check int)
+          "session counter agrees" limited counters.Session.rate_limited;
+        (* the refusals surface in the shared stats too *)
+        let stats = Serve.stats_json serve in
+        let conn_limited =
+          Option.bind (Json.member "connections" stats) (fun c ->
+              Option.bind (Json.member "rate_limited" c) Json.int_opt)
+        in
+        Alcotest.(check bool)
+          "stats connections.rate_limited counted" true
+          (Option.value ~default:0 conn_limited >= limited);
+        (* rate-limited responses carry the retry hint *)
+        let hinted =
+          List.find_opt
+            (fun l -> kind_of (parse_line l) = Some "rate_limited")
+            lines
+        in
+        match hinted with
+        | None -> Alcotest.fail "no rate_limited response found"
+        | Some l ->
+          let j = parse_line l in
+          Alcotest.(check bool)
+            "retry_after_ms hint" true
+            (Option.bind (Json.member "error" j) (Json.member "retry_after_ms")
+             <> None));
+    Alcotest.test_case "a dead client kills only its own session" `Quick
+      (fun () ->
+        let server_fd, client_fd = socketpair () in
+        let session = Serve.session serve (Net.fd_transport server_fd) in
+        (* the client sends one request and stops reading before the
+           answer can be written: the session's write must fail, be
+           counted, and stop only this session *)
+        send_all client_fd ({|{"id":1,"hex":"90"}|} ^ "\n");
+        Unix.shutdown client_fd Unix.SHUTDOWN_RECEIVE;
+        Session.run session;
+        (try Unix.close client_fd with Unix.Unix_error _ -> ());
+        let c = Session.counters session in
+        Alcotest.(check int) "epipe counted" 1 c.Session.epipe;
+        Alcotest.(check bool) "session stopped" true (Session.stopped session);
+        (* the shared core survived and still serves *)
+        Alcotest.(check bool)
+          "core still serves" true
+          (Json.member "cycles" (Serve.handle_line serve {|{"hex":"90"}|})
+           <> None);
+        let stats = Serve.stats_json serve in
+        let epipe =
+          Option.bind (Json.member "io" stats) (fun io ->
+              Option.bind (Json.member "epipe" io) Json.int_opt)
+        in
+        Alcotest.(check bool)
+          "io.epipe in stats" true
+          (Option.value ~default:0 epipe >= 1)) ]
+
+(* ----- the real TCP listener ----- *)
+
+let start_tcp serve cfg =
+  let addr = ref None in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let th =
+    Thread.create
+      (fun () ->
+        Net.run ~signals:false
+          ~announce:(fun ~host ~port ->
+            Mutex.lock mu;
+            addr := Some (host, port);
+            Condition.signal cond;
+            Mutex.unlock mu)
+          serve cfg)
+      ()
+  in
+  Mutex.lock mu;
+  while !addr = None do
+    Condition.wait cond mu
+  done;
+  let host, port = Option.get !addr in
+  Mutex.unlock mu;
+  (th, host, port)
+
+let connect host port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  fd
+
+let tcp_tests () =
+  [ Alcotest.test_case "TCP end to end: serve, stats, graceful stop" `Quick
+      (fun () ->
+        let serve = Serve.create ~workers:1 () in
+        Fun.protect ~finally:(fun () -> Serve.shutdown serve) @@ fun () ->
+        let th, host, port =
+          start_tcp serve { Net.default_config with Net.port = 0 }
+        in
+        let fd = connect host port in
+        send_all fd
+          ({|{"id":1,"hex":"4801d8"}|} ^ "\n" ^ {|{"cmd":"stats"}|} ^ "\n");
+        Unix.shutdown fd Unix.SHUTDOWN_SEND;
+        let lines = recv_lines fd in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Alcotest.(check int) "two responses" 2 (List.length lines);
+        let pred = parse_line (List.nth lines 0) in
+        Alcotest.(check (option int))
+          "id echoed" (Some 1)
+          (Option.bind (Json.member "id" pred) Json.int_opt);
+        Alcotest.(check bool)
+          "prediction" true
+          (Json.member "cycles" pred <> None);
+        let stats = parse_line (List.nth lines 1) in
+        let accepted =
+          Option.bind (Json.member "stats" stats) (fun s ->
+              Option.bind (Json.member "connections" s) (fun c ->
+                  Option.bind (Json.member "accepted" c) Json.int_opt))
+        in
+        Alcotest.(check bool)
+          "connection accounted" true
+          (Option.value ~default:0 accepted >= 1);
+        Serve.request_shutdown serve;
+        Thread.join th);
+    Alcotest.test_case "connections over max-conns are refused" `Quick
+      (fun () ->
+        let serve = Serve.create ~workers:1 () in
+        Fun.protect ~finally:(fun () -> Serve.shutdown serve) @@ fun () ->
+        let th, host, port =
+          start_tcp serve
+            { Net.default_config with Net.port = 0; max_conns = 1 }
+        in
+        (* the first connection occupies the only slot... *)
+        let held = connect host port in
+        send_all held ({|{"id":1,"hex":"90"}|} ^ "\n");
+        let buf = Bytes.create 4096 in
+        ignore (Unix.read held buf 0 (Bytes.length buf));
+        (* ...so the second is answered with one retry_after line and
+           closed *)
+        let refused = connect host port in
+        let lines = recv_lines refused in
+        (try Unix.close refused with Unix.Unix_error _ -> ());
+        (match lines with
+         | [ l ] ->
+           Alcotest.(check (option string))
+             "refusal kind" (Some "retry_after") (kind_of (parse_line l))
+         | ls -> Alcotest.failf "expected one refusal line, got %d"
+                   (List.length ls));
+        let rejected =
+          Option.bind (Json.member "connections" (Serve.stats_json serve))
+            (fun c -> Option.bind (Json.member "rejected" c) Json.int_opt)
+        in
+        Alcotest.(check (option int)) "rejected counted" (Some 1) rejected;
+        (try Unix.close held with Unix.Unix_error _ -> ());
+        Serve.request_shutdown serve;
+        Thread.join th);
+    Alcotest.test_case "endpoint parsing" `Quick (fun () ->
+        Alcotest.(check bool)
+          "host:port" true
+          (Net.parse_endpoint "127.0.0.1:9999" = Ok ("127.0.0.1", 9999));
+        Alcotest.(check bool)
+          ":port defaults the host" true
+          (Net.parse_endpoint ":80" = Ok ("127.0.0.1", 80));
+        Alcotest.(check bool)
+          "missing port" true
+          (Result.is_error (Net.parse_endpoint "localhost"));
+        Alcotest.(check bool)
+          "bad port" true
+          (Result.is_error (Net.parse_endpoint "h:99999"))) ]
+
+let suite =
+  (* one shared long-lived core for the pure-protocol and session
+     tests, exactly as a server process would hold it *)
+  let serve = Serve.create ~workers:1 () in
+  [ ( "net",
+      [ QCheck_alcotest.to_alcotest qcheck_framing ]
+      @ framing_unit_tests @ protocol_tests serve @ config_tests
+      @ session_tests serve @ tcp_tests ()
+      @ [ Alcotest.test_case "shutdown" `Quick (fun () ->
+              Serve.shutdown serve) ] ) ]

@@ -87,12 +87,23 @@ let mode_name = function `Loop -> "loop" | `Unrolled -> "unroll"
 let finish f =
   match f () with
   | Ok () -> 0
-  | Error (e : Err.t) ->
+  | Error (e : Err.t) | (exception Err.Error e) ->
     prerr_endline ("error: " ^ Err.to_string e);
     Err.exit_code e.Err.kind
   | exception Failure m ->
     prerr_endline ("error: " ^ m);
     1
+
+(* One spelling for every numeric option floor, validated before any
+   input is read — batch and serve once carried duplicated (and
+   order-sensitive) copies of these checks. *)
+let require_at_least ~flag floor v =
+  if v < floor then
+    failwith (Printf.sprintf "%s must be at least %d, got %d" flag floor v)
+
+let require_opt_at_least ~flag floor = function
+  | Some v -> require_at_least ~flag floor v
+  | None -> ()
 
 let run_command arch f =
   match Config.of_abbrev arch with
@@ -324,10 +335,26 @@ let no_memo_arg =
   let doc = "Disable memoization of repeated blocks." in
   Arg.(value & flag & info [ "no-memo" ] ~doc)
 
+let store_arg =
+  let doc =
+    "Persistent prediction store at $(docv): warm the memoization \
+     cache from it at startup and append new predictions back \
+     (crash-safe append-only segment with per-frame checksums; a \
+     store written by an incompatible build is refused with exit \
+     code 12). Inspect with $(b,facile cache)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH" ~doc)
+
 let batch_cmd =
-  let run arch mode workers jobs no_memo cache_cap quiet json file =
+  let run arch mode workers jobs no_memo cache_cap store quiet json file =
     let jobs = merge_workers workers jobs in
     run_command arch (fun cfg ->
+        (* flag validation first: a bad flag must fail the same way on
+           an empty stdin as on a full corpus *)
+        require_opt_at_least ~flag:"--workers" 1 jobs;
+        require_at_least ~flag:"--cache-cap" 1 cache_cap;
+        if store <> None && no_memo then
+          failwith "--store requires memoization (drop --no-memo)";
         let* engine_mode =
           match mode with
           | "loop" -> Ok `Loop
@@ -384,18 +411,29 @@ let batch_cmd =
           with Line e -> Error e
         in
         if cases = [] then failwith "no blocks in input";
-        (match jobs with
-         | Some n when n < 1 ->
-           failwith (Printf.sprintf "--workers must be at least 1, got %d" n)
-         | _ -> ());
-        if cache_cap < 1 then
-          failwith
-            (Printf.sprintf "--cache-cap must be at least 1, got %d" cache_cap);
+        (* deterministic fault injection (store I/O drills): a no-op
+           unless FACILE_FAULT is set *)
+        (try Facile_engine.Fault.configure_from_env ()
+         with Invalid_argument m -> failwith m);
+        let* store =
+          match store with
+          | None -> Ok None
+          | Some path ->
+            Result.map Option.some (Facile_store.Store.open_rw path)
+        in
         let blocks = List.map (fun (_, b, _) -> b) cases in
         let pool =
           Facile_engine.Engine.create ?workers:jobs ~memoize:(not no_memo)
             ~cache_cap ()
         in
+        (* warm restart: replay the store into the memo cache (file
+           order is recency order, so the LRU comes back as it was) *)
+        (match store with
+         | None -> ()
+         | Some (_, (report : Facile_store.Store.report)) ->
+           Facile_engine.Engine.memo_seed pool
+             (List.rev_map Facile_store.Codec.to_memo
+                report.Facile_store.Store.records));
         let t0 = Unix.gettimeofday () in
         let preds =
           Fun.protect
@@ -404,6 +442,19 @@ let batch_cmd =
               Facile_engine.Engine.predict_batch pool ~mode:engine_mode blocks)
         in
         let dt = Unix.gettimeofday () -. t0 in
+        let flushed =
+          match store with
+          | None -> None
+          | Some (w, _) ->
+            let n =
+              Fun.protect
+                ~finally:(fun () -> Facile_store.Store.close w)
+                (fun () ->
+                  Facile_store.Store.sync_memo w
+                    (Facile_engine.Engine.memo_entries pool))
+            in
+            Some n
+        in
         if json then
           (* NDJSON, one object per block via the shared encoding; the
              human-readable summary moves to stderr *)
@@ -444,6 +495,11 @@ let batch_cmd =
            else
              Printf.sprintf ", %d unique, %d memo hit%s" misses hits
                (if hits = 1 then "" else "s"));
+        (match flushed with
+         | None -> ()
+         | Some n ->
+           Printf.fprintf out "store: %d new record%s appended\n" n
+             (if n = 1 then "" else "s"));
         let pairs =
           List.filter_map
             (fun ((_, _, measured), (p : Model.prediction)) ->
@@ -477,34 +533,29 @@ let batch_cmd =
           line, optionally ',<measured cycles>' for aggregate error \
           metrics).")
     Term.(const run $ arch_arg $ mode_arg $ workers_arg $ jobs_alias_arg
-          $ no_memo_arg $ cache_cap_arg $ quiet_arg $ json_arg $ file_arg)
+          $ no_memo_arg $ cache_cap_arg $ store_arg $ quiet_arg $ json_arg
+          $ file_arg)
 
 (* ----- serve: long-running NDJSON prediction service ----- *)
 
 let serve_cmd =
   let run workers jobs no_memo deadline_ms no_deadline queue_cap cache_cap
-      max_input_bytes max_insts tcp max_conns conn_rate =
+      store store_flush max_input_bytes max_insts tcp max_conns conn_rate =
     let workers = merge_workers workers jobs in
-    (match workers with
-     | Some n when n < 1 ->
-       failwith (Printf.sprintf "--workers must be at least 1, got %d" n)
-     | _ -> ());
-    if deadline_ms < 0 then
-      failwith (Printf.sprintf "--deadline-ms must be >= 0, got %d" deadline_ms);
-    if queue_cap < 1 then
-      failwith (Printf.sprintf "--queue must be at least 1, got %d" queue_cap);
-    if cache_cap < 1 then
-      failwith (Printf.sprintf "--cache-cap must be at least 1, got %d" cache_cap);
-    if max_input_bytes < 1 then
-      failwith
-        (Printf.sprintf "--max-input-bytes must be at least 1, got %d"
-           max_input_bytes);
-    if max_insts < 1 then
-      failwith (Printf.sprintf "--max-insts must be at least 1, got %d" max_insts);
-    if max_conns < 1 then
-      failwith (Printf.sprintf "--max-conns must be at least 1, got %d" max_conns);
+    require_opt_at_least ~flag:"--workers" 1 workers;
+    require_at_least ~flag:"--deadline-ms" 0 deadline_ms;
+    require_at_least ~flag:"--queue" 1 queue_cap;
+    require_at_least ~flag:"--cache-cap" 1 cache_cap;
+    require_opt_at_least ~flag:"--store-flush" 1 store_flush;
+    require_at_least ~flag:"--max-input-bytes" 1 max_input_bytes;
+    require_at_least ~flag:"--max-insts" 1 max_insts;
+    require_at_least ~flag:"--max-conns" 1 max_conns;
     if conn_rate < 0.0 || not (Float.is_finite conn_rate) then
       failwith (Printf.sprintf "--conn-rate must be >= 0, got %g" conn_rate);
+    if store = None && store_flush <> None then
+      failwith "--store-flush needs --store";
+    if store <> None && no_memo then
+      failwith "--store requires memoization (drop --no-memo)";
     let tcp_endpoint =
       match tcp with
       | None -> None
@@ -517,6 +568,17 @@ let serve_cmd =
        unless FACILE_FAULT is set *)
     (try Facile_engine.Fault.configure_from_env ()
      with Invalid_argument m -> failwith m);
+    (* open (and crash-recover) the persistent store before starting
+       any serving machinery: a skewed or corrupt store must refuse
+       with its typed exit code, not after the listener is up *)
+    let store =
+      match store with
+      | None -> None
+      | Some path ->
+        (match Facile_store.Store.open_rw path with
+         | Ok (w, report) -> Some (w, report)
+         | Error e -> raise (Err.Error e))
+    in
     let t =
       Facile_engine.Serve.of_config
         { Facile_engine.Serve.default_config with
@@ -525,12 +587,66 @@ let serve_cmd =
           cache_cap = Some cache_cap;
           deadline_ms = (if no_deadline then None else Some deadline_ms);
           queue_cap;
+          flush_every = store_flush;
           limits =
             { Facile_engine.Serve.default_limits with
               Facile_engine.Serve.max_input_bytes; max_insts } }
     in
+    let engine = Facile_engine.Serve.engine t in
+    (* warm restart + persistence hook: replay the store into the memo
+       cache, then flush new entries back every --store-flush
+       predictions and at graceful shutdown *)
+    (match store with
+     | None -> ()
+     | Some (w, (report : Facile_store.Store.report)) ->
+       Facile_engine.Engine.memo_seed engine
+         (List.rev_map Facile_store.Codec.to_memo
+            report.Facile_store.Store.records);
+       Facile_engine.Serve.set_persist t (fun () ->
+           ignore
+             (Facile_store.Store.sync_memo w
+                (Facile_engine.Engine.memo_entries engine))));
+    (* one-line effective-config announce on stderr (stdout carries
+       only protocol responses): operators and the chaos harness see
+       what the flags actually resolved to *)
+    prerr_endline
+      (Json.to_string
+         (Json.Obj
+            [ "config",
+              Json.Obj
+                [ "workers", Json.Int (Facile_engine.Engine.size engine);
+                  "memoize", Json.Bool (not no_memo);
+                  "cache_cap", Json.Int cache_cap;
+                  "deadline_ms",
+                  (if no_deadline then Json.Null else Json.Int deadline_ms);
+                  "queue", Json.Int queue_cap;
+                  "max_input_bytes", Json.Int max_input_bytes;
+                  "max_insts", Json.Int max_insts;
+                  "store",
+                  (match store with
+                   | None -> Json.Null
+                   | Some (w, _) ->
+                     Json.Str (Facile_store.Store.path w));
+                  "store_flush",
+                  (match store_flush with
+                   | None -> Json.Null
+                   | Some n -> Json.Int n);
+                  "warm_records",
+                  (match store with
+                   | None -> Json.Null
+                   | Some (_, r) ->
+                     Json.Int (List.length r.Facile_store.Store.records)) ] ]));
+    flush stderr;
     Fun.protect
-      ~finally:(fun () -> Facile_engine.Serve.shutdown t)
+      ~finally:(fun () ->
+        (* Serve.shutdown runs the persistence hook (final flush)
+           before the writer is closed *)
+        Fun.protect
+          ~finally:(fun () ->
+            match store with
+            | None -> ()
+            | Some (w, _) -> Facile_store.Store.close w)
+          (fun () -> Facile_engine.Serve.shutdown t))
       (fun () ->
         match tcp_endpoint with
         | None -> Facile_engine.Serve.run t stdin stdout
@@ -594,6 +710,17 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
   in
+  let store_flush_arg =
+    let doc =
+      "With --store: also flush new predictions to the store after \
+       every $(docv) successful predictions (default: only at \
+       graceful shutdown). Lower values lose less on a crash and \
+       fsync more often."
+    in
+    Arg.(value
+         & opt (some int) None
+         & info [ "store-flush" ] ~docv:"N" ~doc)
+  in
   let conn_rate_arg =
     let doc =
       "Per-connection request admission rate in requests/second (token \
@@ -649,19 +776,34 @@ let serve_cmd =
          SIGTERM, and a closed client pipe all drain in-flight work, \
          flush a final stats snapshot to stderr, and exit 0. Set \
          FACILE_FAULT=point:rate:seed[:limit] (points: decode, \
-         predict, respond) to inject deterministic faults." ]
+         predict, respond, store.short_write, store.enospc, \
+         store.read) to inject deterministic faults.";
+      `P
+        "With --store PATH the memoization cache survives restarts: \
+         it is warmed from the store at startup (after crash \
+         recovery — a kill -9 mid-append loses at most the final \
+         record) and flushed back at graceful shutdown, plus every \
+         --store-flush N predictions. The startup stderr line \
+         {\"config\":..} reports the effective configuration, \
+         including how many records warmed the cache." ]
   in
   Cmd.v
     (Cmd.info "serve" ~man
        ~doc:
          "Serve predictions over a fault-tolerant NDJSON loop (stdio \
           or multi-client TCP).")
-    Term.(const (fun w j nm dl nodl q cc mib mi tcp mc cr ->
-             try run w j nm dl nodl q cc mib mi tcp mc cr with Failure m ->
-               prerr_endline ("error: " ^ m); 1)
+    Term.(const (fun w j nm dl nodl q cc st sf mib mi tcp mc cr ->
+             match run w j nm dl nodl q cc st sf mib mi tcp mc cr with
+             | code -> code
+             | exception Failure m ->
+               prerr_endline ("error: " ^ m); 1
+             | exception Err.Error e ->
+               prerr_endline ("error: " ^ Err.to_string e);
+               Err.exit_code e.Err.kind)
           $ workers_arg $ jobs_alias_arg $ no_memo_arg $ deadline_arg
-          $ no_deadline_arg $ queue_arg $ cache_cap_arg $ serve_max_input_arg
-          $ max_insts_arg $ tcp_arg $ max_conns_arg $ conn_rate_arg)
+          $ no_deadline_arg $ queue_arg $ cache_cap_arg $ store_arg
+          $ store_flush_arg $ serve_max_input_arg $ max_insts_arg $ tcp_arg
+          $ max_conns_arg $ conn_rate_arg)
 
 (* ----- simulate ----- *)
 
@@ -874,7 +1016,7 @@ let check_cmd =
   let only_arg =
     let doc =
       "Analyzer family to run (repeatable; config, tables, codec, model, \
-       flat; default: all)."
+       flat, store; default: all)."
     in
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"FAMILY" ~doc)
   in
@@ -900,6 +1042,254 @@ let check_cmd =
     (Cmd.info "check" ~man
        ~doc:"Statically verify model tables, codec, and configs.")
     Term.(const run $ arches_arg $ only_arg $ json_arg)
+
+(* ----- cache: the persistent prediction store ----- *)
+
+module Store = Facile_store.Store
+module Store_codec = Facile_store.Codec
+
+let cache_store_pos =
+  let doc = "Store segment file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc)
+
+let fingerprint_hex fp = Printf.sprintf "%016Lx" fp
+
+let cache_stat_cmd =
+  let run json path =
+    finish (fun () ->
+        (* stat is an inspection tool: it reports a skewed store
+           (that is its job) instead of refusing it *)
+        let* r = Store.load ~check_fingerprint:false path in
+        let mine = Store.fingerprint () in
+        let skewed = r.Store.stored_fingerprint <> mine in
+        if json then
+          print_endline
+            (Json.to_string
+               (match Store.report_to_json r with
+                | Json.Obj kvs ->
+                  Json.Obj
+                    (kvs
+                     @ [ "build_fingerprint", Json.Str (fingerprint_hex mine);
+                         "skewed", Json.Bool skewed ])
+                | other -> other))
+        else begin
+          Printf.printf "store: %s\n" path;
+          Printf.printf "  records:      %d (%d frames, %d undecodable)\n"
+            (List.length r.Store.records)
+            r.Store.frames_ok r.Store.undecodable;
+          Printf.printf "  quarantined:  %d corrupt frame%s\n"
+            r.Store.quarantined
+            (if r.Store.quarantined = 1 then "" else "s");
+          Printf.printf "  torn tail:    %d byte%s\n" r.Store.torn_tail
+            (if r.Store.torn_tail = 1 then "" else "s");
+          Printf.printf "  file size:    %d bytes\n" r.Store.file_size;
+          Printf.printf "  fingerprint:  %s%s\n"
+            (fingerprint_hex r.Store.stored_fingerprint)
+            (if skewed then
+               Printf.sprintf " (SKEWED: this build is %s)"
+                 (fingerprint_hex mine)
+             else " (matches this build)")
+        end;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "Describe a store: record and corruption counts, size, and \
+          table fingerprint (reports rather than refuses a skewed \
+          store).")
+    Term.(const run $ json_arg $ cache_store_pos)
+
+let cache_verify_cmd =
+  let run recompute json path =
+    finish (fun () ->
+        let* r = Store.load path in
+        let scan_findings =
+          (if r.Store.quarantined > 0 then
+             [ Printf.sprintf "%d corrupt frame%s quarantined"
+                 r.Store.quarantined
+                 (if r.Store.quarantined = 1 then "" else "s") ]
+           else [])
+          @ (if r.Store.undecodable > 0 then
+               [ Printf.sprintf "%d frame%s undecodable" r.Store.undecodable
+                   (if r.Store.undecodable = 1 then "" else "s") ]
+             else [])
+          @
+          if r.Store.torn_tail > 0 then
+            [ Printf.sprintf "torn tail of %d byte%s" r.Store.torn_tail
+                (if r.Store.torn_tail = 1 then "" else "s") ]
+          else []
+        in
+        (* --recompute: every stored prediction must equal a fresh
+           prediction bit for bit — the strongest statement that a
+           warm cache serves exactly what a cold run would compute *)
+        let recompute_findings =
+          if not recompute then []
+          else
+            List.concat
+              (List.mapi
+                 (fun i (rec_ : Store_codec.record) ->
+                   let cfg = Config.by_arch rec_.Store_codec.arch in
+                   let where =
+                     Printf.sprintf "record %d (%s)" i cfg.Config.abbrev
+                   in
+                   match Block.of_bytes cfg rec_.Store_codec.bytes with
+                   | exception _ ->
+                     [ where ^ ": stored bytes no longer decode" ]
+                   | block ->
+                     (if Block.form_sig block <> rec_.Store_codec.form_sig
+                      then [ where ^ ": form signature changed" ]
+                      else [])
+                     @
+                     let fresh =
+                       Model.predict
+                         ~notion:
+                           (match rec_.Store_codec.notion with
+                            | `Loop -> Model.L
+                            | `Unrolled -> Model.U)
+                         block
+                     in
+                     if Store_codec.pred_equal fresh rec_.Store_codec.pred
+                     then []
+                     else [ where ^ ": stored prediction differs from \
+                                     recomputed" ])
+                 r.Store.records)
+        in
+        let findings = scan_findings @ recompute_findings in
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [ "ok", Json.Bool (findings = []);
+                    "records", Json.Int (List.length r.Store.records);
+                    "recomputed",
+                    Json.Int
+                      (if recompute then List.length r.Store.records else 0);
+                    "findings",
+                    Json.Arr (List.map (fun f -> Json.Str f) findings) ]))
+        else begin
+          List.iter (fun f -> Printf.printf "finding: %s\n" f) findings;
+          Printf.printf "verify: %s: %d record%s%s, %d finding%s\n" path
+            (List.length r.Store.records)
+            (if List.length r.Store.records = 1 then "" else "s")
+            (if recompute then " recomputed bit-identically" else "")
+            (List.length findings)
+            (if List.length findings = 1 then "" else "s")
+        end;
+        if findings = [] then Ok ()
+        else
+          Error
+            (Err.v Err.Check_failed
+               (Printf.sprintf "%s: %d finding%s" path (List.length findings)
+                  (if List.length findings = 1 then "" else "s"))))
+  in
+  let recompute_arg =
+    let doc =
+      "Re-predict every stored record and require bit-identical \
+       results (floats compared by IEEE bits)."
+    in
+    Arg.(value & flag & info [ "recompute" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Verify a store: scan for corruption (exit 10 with counted \
+          findings if any) and optionally recompute every prediction.")
+    Term.(const run $ recompute_arg $ json_arg $ cache_store_pos)
+
+let cache_export_cmd =
+  let run path =
+    finish (fun () ->
+        let* r = Store.load path in
+        List.iter
+          (fun rec_ ->
+            print_endline (Json.to_string (Store_codec.to_json rec_)))
+          r.Store.records;
+        Printf.eprintf "exported %d record%s\n" (List.length r.Store.records)
+          (if List.length r.Store.records = 1 then "" else "s");
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Export a store as NDJSON on stdout (one record per line; \
+          floats round-trip bit-identically).")
+    Term.(const run $ cache_store_pos)
+
+let cache_import_cmd =
+  let run path file =
+    finish (fun () ->
+        let exception Line of Err.t in
+        let* records =
+          try
+            Ok
+              (String.split_on_char '\n' (read_input file)
+              |> List.mapi (fun i line -> (i + 1, String.trim line))
+              |> List.filter (fun (_, l) -> l <> "")
+              |> List.map (fun (lineno, line) ->
+                     match
+                       Result.bind (Json.parse line) Store_codec.of_json
+                     with
+                     | Ok r -> r
+                     | Error m ->
+                       raise
+                         (Line
+                            (Err.v Err.Parse_error
+                               (Printf.sprintf "line %d: %s" lineno m)))))
+          with Line e -> Error e
+        in
+        let* w, _ = Store.open_rw path in
+        let appended =
+          Fun.protect
+            ~finally:(fun () -> Store.close w)
+            (fun () ->
+              (* sync_memo expects most-recent-first and appends in
+                 reverse, so reversing here preserves input order and
+                 skips records already in the store *)
+              Store.sync_memo w
+                (List.rev_map Store_codec.to_memo records))
+        in
+        Printf.printf "imported %d of %d record%s into %s\n" appended
+          (List.length records)
+          (if List.length records = 1 then "" else "s")
+          path;
+        Ok ())
+  in
+  let file_pos =
+    let doc = "NDJSON input file (defaults to stdin)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Import NDJSON records (facile cache export format) into a \
+          store, skipping keys already present.")
+    Term.(const run $ cache_store_pos $ file_pos)
+
+let cache_cmd =
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "A store is an append-only segment file: a versioned, \
+         checksummed header binding it to this build's instruction \
+         tables, then one length-prefixed CRC-checked frame per \
+         prediction record. facile batch --store and facile serve \
+         --store use it to keep the memoization cache warm across \
+         restarts.";
+      `P
+        "Recovery rules: a frame with a bad checksum is quarantined \
+         (skipped and counted, never served); a torn tail — the \
+         signature of a crash mid-append — is truncated away the \
+         next time a writer opens the store, losing at most that \
+         final partial frame; a store whose format version or table \
+         fingerprint does not match this build is refused with a \
+         typed store_skew error, exit code 12." ]
+  in
+  Cmd.group
+    (Cmd.info "cache" ~man
+       ~doc:"Inspect, verify, export, and import persistent prediction \
+             stores.")
+    [ cache_stat_cmd; cache_verify_cmd; cache_export_cmd; cache_import_cmd ]
 
 (* ----- disasm: decode machine code with layout details ----- *)
 
@@ -947,4 +1337,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; serve_cmd;
-            simulate_cmd; isa_cmd; region_cmd; disasm_cmd; check_cmd ]))
+            simulate_cmd; isa_cmd; region_cmd; disasm_cmd; check_cmd;
+            cache_cmd ]))

@@ -1,4 +1,4 @@
-(* Aggregator for the five analyzer families.  `facile check` and the
+(* Aggregator for the six analyzer families.  `facile check` and the
    `@check` build alias both come through [run_all]; the summary and
    JSON encodings live here so the CLI stays a thin shell. *)
 
@@ -16,7 +16,8 @@ let analyzers =
     "tables", (fun cfgs -> Table_check.run ~cfgs ());
     "codec", (fun _ -> Codec_check.run ());
     "model", (fun cfgs -> Model_check.run ~cfgs ());
-    "flat", (fun cfgs -> Flat_check.run ~cfgs ()) ]
+    "flat", (fun cfgs -> Flat_check.run ~cfgs ());
+    "store", (fun _ -> Store_check.run ()) ]
 
 let analyzer_names = List.map fst analyzers
 

@@ -1,5 +1,5 @@
 (** Aggregator for the [facile check] static-analysis pass: runs the
-    config, table, codec, model, and flat analyzer families and folds
+    config, table, codec, model, flat, and store analyzer families and folds
     the findings into a single report. *)
 
 open Facile_uarch
@@ -12,12 +12,12 @@ type report = {
 }
 
 (** Names of the analyzer families, in run order:
-    ["config"; "tables"; "codec"; "model"; "flat"]. *)
+    ["config"; "tables"; "codec"; "model"; "flat"; "store"]. *)
 val analyzer_names : string list
 
 (** [run_all ()] runs every family over all nine configs. [cfgs]
-    restricts the arch set ("codec" is arch-independent and always runs
-    in full); [families] restricts the analyzer set.
+    restricts the arch set ("codec" and "store" are arch-independent and always
+    run in full); [families] restricts the analyzer set.
     @raise Invalid_argument on a family name outside {!analyzer_names}
       (the message lists the valid names). *)
 val run_all :

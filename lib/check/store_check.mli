@@ -1,0 +1,10 @@
+(** Persistent-store self-verification (rule family [store-*]):
+    CRC known-answer vector, binary and JSON decode∘encode identity
+    over synthetic records covering every arch/notion/fe-path/
+    component code, and positive-control recovery drills against real
+    temp-file segments — corrupt-frame quarantine, torn-tail
+    truncation on reopen, version skew, and fingerprint skew must all
+    be detected (a passing rejection test is the control that the
+    corresponding guard actually fires). *)
+
+val run : unit -> Finding.t list

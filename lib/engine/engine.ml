@@ -255,6 +255,31 @@ let memo_stats pool =
   Mutex.unlock pool.memo_mutex;
   s
 
+(* ------------------------------------------------------------------ *)
+(* Memo persistence: the warm-restart surface of the persistent
+   prediction store (Facile_store).  [memo_entries] snapshots the
+   cache for flushing to disk; [memo_seed] pre-populates it from
+   loaded records without touching the hit/miss accounting, so stats
+   reflect only this process's traffic. *)
+
+type memo_key = Config.arch * [ `Loop | `Unrolled ] * int * string
+
+let memo_entries pool =
+  Mutex.lock pool.memo_mutex;
+  let entries = Lru.to_list pool.memo in
+  Mutex.unlock pool.memo_mutex;
+  entries
+
+let memo_seed pool entries =
+  if pool.memoize then begin
+    Mutex.lock pool.memo_mutex;
+    (* entries arrive most-recent first ([memo_entries] order, which
+       the store preserves); insert oldest first so the LRU keeps the
+       same recency and a bounded cache evicts the same cold tail *)
+    List.iter (fun (k, v) -> Lru.add pool.memo k v) (List.rev entries);
+    Mutex.unlock pool.memo_mutex
+  end
+
 type cache_stats = {
   hits : int;
   misses : int;

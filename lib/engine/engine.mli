@@ -83,3 +83,20 @@ val predict : t -> mode:mode -> Block.t -> Model.prediction
     a distinct key actually predicted; a hit is a reuse, whether from a
     duplicate within one batch or from an earlier batch. *)
 val memo_stats : t -> int * int
+
+(** The memoization key: microarchitecture, resolved throughput
+    notion, the block's form signature ({!Facile_core.Block.form_sig})
+    and its exact bytes.  Exposed so the persistent prediction store
+    ([Facile_store]) can flush and re-seed the cache across process
+    restarts. *)
+type memo_key = Facile_uarch.Config.arch * [ `Loop | `Unrolled ] * int * string
+
+(** Snapshot of the memo cache, most-recent first. *)
+val memo_entries : t -> (memo_key * Model.prediction) list
+
+(** [memo_seed t entries] pre-populates the memo cache (warm start)
+    with [entries] in {!memo_entries} order (most-recent first),
+    preserving recency.  Seeded entries do not count as hits or
+    misses; a bounded cache keeps only the most recent [cache_cap]
+    of them.  A no-op on a pool created with [~memoize:false]. *)
+val memo_seed : t -> (memo_key * Model.prediction) list -> unit

@@ -145,6 +145,39 @@ let point p =
   if Atomic.get armed then inject p;
   check_deadline ()
 
+(* Non-raising draw for data-corrupting fault points (store I/O short
+   writes, bit flips): when the rule fires the injection is counted
+   and a PRNG payload is handed to the caller, who derives the
+   corruption (bit position, truncated length) from it so the damage
+   is as deterministic as the firing schedule. *)
+let draw p =
+  if not (Atomic.get armed) then None
+  else begin
+    Mutex.lock mu;
+    let payload =
+      match Hashtbl.find_opt rules p with
+      | None -> None
+      | Some r ->
+        r.hits <- r.hits + 1;
+        if r.limit >= 0 && r.injected >= r.limit then None
+        else begin
+          let fire = r.rate >= 1.0 || uniform r < r.rate in
+          if fire then begin
+            r.injected <- r.injected + 1;
+            let state, out = splitmix64 r.prng in
+            r.prng <- state;
+            (* land with the native max_int: Int64.max_int keeps 63
+               bits, whose top bit is the sign of OCaml's 63-bit int —
+               the contract promises a non-negative payload *)
+            Some (Int64.to_int out land max_int)
+          end
+          else None
+        end
+    in
+    Mutex.unlock mu;
+    payload
+  end
+
 let snapshot () =
   Mutex.lock mu;
   let s =

@@ -27,6 +27,18 @@ val clear : unit -> unit
 (** Consult the injection table for point [p], then the deadline. *)
 val point : string -> unit
 
+(** [draw p] — the non-raising spelling of {!point} for fault points
+    that corrupt data instead of crashing: when the rule for [p]
+    fires, the injection is counted and [Some payload] is returned,
+    where [payload] is a non-negative integer from the rule's seeded
+    PRNG stream (the caller derives a deterministic bit position,
+    write length, etc. from it).  Returns [None] when no rule is
+    configured, the rule does not fire, or its limit is spent.  The
+    store I/O points ("store.short_write", "store.enospc",
+    "store.read") are consulted this way.  Does not check the
+    deadline. *)
+val draw : string -> int option
+
 (** Arm ([Some abs_ns], monotonic clock) or disarm ([None]) the
     process-wide request deadline. *)
 val set_deadline : int option -> unit

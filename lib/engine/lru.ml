@@ -78,3 +78,10 @@ let add t k v =
     Hashtbl.replace t.tbl k n
 
 let mem t k = Hashtbl.mem t.tbl k
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.key, n.value) :: acc) n.next
+  in
+  go [] t.head

@@ -23,3 +23,6 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val add : ('k, 'v) t -> 'k -> 'v -> unit
 
 val mem : ('k, 'v) t -> 'k -> bool
+
+(** Every binding, most-recent first.  Does not touch recency. *)
+val to_list : ('k, 'v) t -> ('k * 'v) list

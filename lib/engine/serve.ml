@@ -64,6 +64,7 @@ type config = {
   deadline_ms : int option;
   queue_cap : int;
   retry_after_ms : int;
+  flush_every : int option;
   limits : limits;
   supervisor : Supervise.config;
 }
@@ -75,6 +76,7 @@ let default_config =
     deadline_ms = None;
     queue_cap = 128;
     retry_after_ms = 50;
+    flush_every = None;
     limits = default_limits;
     supervisor = Supervise.default_config }
 
@@ -111,6 +113,17 @@ type t = {
   conns : conns;
   started_ns : int;
   stop : bool Atomic.t;                (* graceful-shutdown request *)
+  (* Persistence hook (the CLI installs one that syncs the memo cache
+     to a Facile_store writer; this module stays store-agnostic to
+     avoid a dependency cycle).  Invoked under [persist_mu] after
+     every [flush_every] successful predictions and once more at
+     graceful shutdown. *)
+  flush_every : int option;
+  persist_mu : Mutex.t;
+  mutable persist : (unit -> unit) option;
+  mutable since_flush : int;
+  mutable flushes : int;
+  mutable persist_errors : int;
 }
 
 let of_config (c : config) =
@@ -122,6 +135,10 @@ let of_config (c : config) =
   if c.limits.max_line_bytes < 1 || c.limits.max_input_bytes < 1
      || c.limits.max_insts < 1
   then invalid_arg "Serve.create: limits must be positive";
+  (match c.flush_every with
+   | Some n when n < 1 ->
+     invalid_arg (Printf.sprintf "Serve.create: flush_every = %d" n)
+   | _ -> ());
   { engine =
       Engine.create ?workers:c.workers ~memoize:c.memoize
         ?cache_cap:c.cache_cap ();
@@ -153,7 +170,13 @@ let of_config (c : config) =
         bytes_in = Atomic.make 0;
         bytes_out = Atomic.make 0 };
     started_ns = Clock.now_ns ();
-    stop = Atomic.make false }
+    stop = Atomic.make false;
+    flush_every = c.flush_every;
+    persist_mu = Mutex.create ();
+    persist = None;
+    since_flush = 0;
+    flushes = 0;
+    persist_errors = 0 }
 
 (* Deprecated spelling of {!of_config}, kept for embedders. *)
 let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
@@ -168,7 +191,45 @@ let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
       limits;
       supervisor }
 
+let engine t = t.engine
+
+let set_persist t f =
+  Mutex.lock t.persist_mu;
+  t.persist <- Some f;
+  Mutex.unlock t.persist_mu
+
+(* Run the persistence hook; a failing flush (disk full, injected
+   fault) is counted, never propagated — serving keeps its answers
+   even when it cannot keep its cache. *)
+let run_persist t =
+  Mutex.lock t.persist_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.persist_mu)
+    (fun () ->
+      match t.persist with
+      | None -> ()
+      | Some f ->
+        t.since_flush <- 0;
+        (match f () with
+         | () -> t.flushes <- t.flushes + 1
+         | exception _ -> t.persist_errors <- t.persist_errors + 1))
+
+(* Count one successful prediction towards the periodic flush. *)
+let tick_persist t =
+  match t.flush_every with
+  | None -> ()
+  | Some n ->
+    let due =
+      Mutex.lock t.persist_mu;
+      t.since_flush <- t.since_flush + 1;
+      let due = t.since_flush >= n && t.persist <> None in
+      Mutex.unlock t.persist_mu;
+      due
+    in
+    if due then run_persist t
+
 let shutdown t =
+  run_persist t;
   Supervise.shutdown t.sup;
   Engine.shutdown t.engine
 
@@ -305,6 +366,15 @@ let stats_json t =
                        "hits", Json.Int hits ] ))
                (Fault.snapshot ()));
           "io", Json.Obj [ "epipe", Json.Int t.epipe ];
+          "store",
+          Json.Obj
+            [ "enabled", Json.Bool (t.persist <> None);
+              "flush_every",
+              (match t.flush_every with
+               | None -> Json.Null
+               | Some n -> Json.Int n);
+              "flushes", Json.Int t.flushes;
+              "persist_errors", Json.Int t.persist_errors ];
           "limits",
           Json.Obj
             [ "max_line_bytes", Json.Int t.limits.max_line_bytes;
@@ -479,6 +549,7 @@ let handle_request t (req : Json.t) : Json.t =
                        locked t (fun () ->
                            t.predicted <- t.predicted + 1;
                            bump t.by_arch cfg.Config.abbrev);
+                       tick_persist t;
                        (match Model.prediction_to_json p with
                         | Json.Obj fields -> Json.Obj (("id", id) :: fields)
                         | other -> Json.Obj [ "id", id; "prediction", other ]))
@@ -591,8 +662,11 @@ let install_signal_handlers t =
             (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))))
     [ Sys.sigint; Sys.sigterm ]
 
-(* final snapshot on stderr: stdout carries only protocol responses *)
+(* final snapshot on stderr: stdout carries only protocol responses.
+   The persistence hook runs first — end of service is the last safe
+   flush point, and the snapshot's store counters must reflect it. *)
 let print_final_stats t =
+  run_persist t;
   try
     prerr_endline
       (Json.to_string (Json.Obj [ "final_stats", stats_json t ]));

@@ -66,6 +66,9 @@ type config = {
   deadline_ms : int option;  (** per-request budget; [None] = off *)
   queue_cap : int;           (** per-session request queue bound *)
   retry_after_ms : int;      (** hint sent with shed/rate_limited *)
+  flush_every : int option;
+      (** invoke the persistence hook ({!set_persist}) after every
+          [n] successful predictions; [None] = only at shutdown *)
   limits : limits;
   supervisor : Supervise.config;
 }
@@ -95,7 +98,23 @@ val create :
   unit ->
   t
 
-(** Join the supervised executor and the engine's worker domains. *)
+(** The engine pool behind this service (the CLI uses it to warm the
+    memo cache from a persistent store and to dump it back). *)
+val engine : t -> Engine.t
+
+(** [set_persist t f] installs the persistence hook: [f] is invoked
+    under the service's persistence lock after every
+    [config.flush_every] successful predictions and once more at the
+    start of {!shutdown}.  The hook is supplied from outside (the CLI
+    wires it to a {!Facile_store} writer) so this module stays
+    store-agnostic.  A raising hook is counted in the stats ["store"]
+    section as [persist_errors], never propagated. *)
+val set_persist : t -> (unit -> unit) -> unit
+
+(** Join the supervised executor and the engine's worker domains,
+    running the persistence hook first (flush-on-graceful-shutdown —
+    this covers the stdio, TCP, and signal paths, which all funnel
+    through here). *)
 val shutdown : t -> unit
 
 (** Ask every serving loop on this [t] to drain and return (what the
@@ -155,7 +174,9 @@ val session :
     SIGPIPE, and turn SIGINT/SIGTERM into {!request_shutdown}. *)
 val install_signal_handlers : t -> unit
 
-(** Emit the [{"final_stats":..}] snapshot on stderr. *)
+(** Run the persistence hook (if any), then emit the
+    [{"final_stats":..}] snapshot on stderr — so the snapshot's store
+    counters include the end-of-service flush. *)
 val print_final_stats : t -> unit
 
 (** [run ?signals t ic oc] — one stdio NDJSON session: a reader

@@ -1,0 +1,25 @@
+(* Table-driven CRC-32 (IEEE, reflected, poly 0xEDB88320) — the same
+   checksum zlib/PNG/ethernet use, so segments can be cross-checked
+   with standard tools.  OCaml ints are 63-bit here, so the 32-bit
+   arithmetic fits natively. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let sub s off len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.sub";
+  let t = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string s = sub s 0 (String.length s)

@@ -14,6 +14,9 @@ type kind =
   | Check_failed  (* facile check found error-severity findings *)
   | Internal      (* an internal invariant broke, e.g. a non-finite
                      value reached a serialization boundary *)
+  | Store_skew    (* a persistent prediction store was written by an
+                     incompatible format version or against different
+                     instruction tables/configs than this build's *)
 
 type t = { kind : kind; msg : string; pos : int option }
 
@@ -28,7 +31,7 @@ let raise_err ?pos kind msg = raise (Error (v ?pos kind msg))
 
 let all_kinds =
   [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error;
-    Too_large; Timeout; Check_failed; Internal ]
+    Too_large; Timeout; Check_failed; Internal; Store_skew ]
 
 (* stable snake_case names: these are wire protocol, not display text *)
 let kind_name = function
@@ -41,6 +44,7 @@ let kind_name = function
   | Timeout -> "timeout"
   | Check_failed -> "check_failed"
   | Internal -> "internal"
+  | Store_skew -> "store_skew"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -57,6 +61,7 @@ let exit_code = function
   | Timeout -> 9
   | Check_failed -> 10
   | Internal -> 11
+  | Store_skew -> 12
 
 let to_string e =
   match e.pos with

@@ -81,14 +81,18 @@ let corpus ~n ~seed = let rng = mk_rng (Int64.of_int seed) in List.init n (mixed
 type outcome = {
   exit_code : int;
   lines : string list;        (* stdout lines, in order *)
+  err_lines : string list;    (* stderr lines (config announce, stats) *)
   final_stats : Json.t option; (* from the stderr snapshot *)
   wall_s : float;
 }
 
 (* Feed [requests] (optionally [pace]d in seconds), read every response
-   line; [kill_after n] sends SIGTERM once [n] requests are written and
-   keeps stdin open so shutdown is signal-driven. *)
-let run_serve ?(args = []) ?(env = []) ?(pace = 0.) ?kill_after requests =
+   line; [kill_after n] sends [kill_signal] (default SIGTERM) once [n]
+   requests are written and keeps stdin open so shutdown is
+   signal-driven — with SIGKILL this is the crash-recovery drill and
+   the reported exit code is the real wait status (137). *)
+let run_serve ?(args = []) ?(env = []) ?(pace = 0.)
+    ?(kill_signal = Sys.sigterm) ?kill_after requests =
   (* cloexec: the child must NOT inherit the parent ends — holding a
      copy of in_w would stop its own stdin from ever reaching EOF.
      create_process dup2s the three fds onto 0/1/2, clearing cloexec
@@ -104,6 +108,7 @@ let run_serve ?(args = []) ?(env = []) ?(pace = 0.) ?kill_after requests =
   let started = Unix.gettimeofday () in
   let pid = Unix.create_process_env bin argv env_array in_r out_w err_w in
   Unix.close in_r; Unix.close out_w; Unix.close err_w;
+  let reaped = ref None in
   let feeder =
     Thread.create
       (fun () ->
@@ -116,14 +121,15 @@ let run_serve ?(args = []) ?(env = []) ?(pace = 0.) ?kill_after requests =
                flush oc;
                if pace > 0. then Thread.delay pace;
                match kill_after with
-               | Some n when i + 1 = n -> Unix.kill pid Sys.sigterm
+               | Some n when i + 1 = n -> Unix.kill pid kill_signal
                | _ -> ())
              requests;
            if kill_after = None then close_out oc
            else begin
              (* signal-driven shutdown: wait for the server to exit
                 before dropping the pipe *)
-             ignore (Unix.waitpid [ Unix.WUNTRACED ] pid);
+             let _, st = Unix.waitpid [ Unix.WUNTRACED ] pid in
+             reaped := Some st;
              try close_out oc with Sys_error _ -> ()
            end
          with Sys_error _ -> (* server went away mid-write: fine *) ()))
@@ -153,25 +159,38 @@ let run_serve ?(args = []) ?(env = []) ?(pace = 0.) ?kill_after requests =
   close_in ic;
   Thread.join feeder;
   Thread.join err_reader;
-  let _, status =
-    if kill_after = None then Unix.waitpid [] pid
-    else (pid, Unix.WEXITED 0) (* already reaped by the feeder *)
+  let status =
+    if kill_after = None then snd (Unix.waitpid [] pid)
+    else
+      (* reaped by the feeder; a feeder that died on Sys_error before
+         reaping leaves the child to us *)
+      match !reaped with
+      | Some st -> st
+      | None -> snd (Unix.waitpid [] pid)
   in
   let wall_s = Unix.gettimeofday () -. started in
   let exit_code =
+    (* OCaml's WSIGNALED carries the runtime's own (negative) signal
+       encoding, not the POSIX number — translate the ones we send so
+       the shell convention (128+N) holds *)
+    let posix s =
+      if s = Sys.sigkill then 9 else if s = Sys.sigterm then 15 else abs s
+    in
     match status with
     | Unix.WEXITED c -> c
-    | Unix.WSIGNALED s -> 128 + s
-    | Unix.WSTOPPED s -> 256 + s
+    | Unix.WSIGNALED s -> 128 + posix s
+    | Unix.WSTOPPED s -> 256 + posix s
   in
+  let err_lines = Buffer.contents errbuf |> String.split_on_char '\n' in
   let final_stats =
-    Buffer.contents errbuf |> String.split_on_char '\n'
-    |> List.find_map (fun l ->
-           match Json.parse l with
-           | Ok j -> Json.member "final_stats" j
-           | Error _ -> None)
+    List.find_map
+      (fun l ->
+        match Json.parse l with
+        | Ok j -> Json.member "final_stats" j
+        | Error _ -> None)
+      err_lines
   in
-  { exit_code; lines = List.rev !lines; final_stats; wall_s }
+  { exit_code; lines = List.rev !lines; err_lines; final_stats; wall_s }
 
 (* ----- response utilities ----- *)
 
@@ -760,6 +779,158 @@ let phase_lru () =
     checkf "cache stayed bounded" (get_int [ "cache"; "entries" ] s <= 64)
       "entries=%d" (get_int [ "cache"; "entries" ] s)
 
+(* ----- persistent prediction store ----- *)
+
+let temp_path () =
+  let p = Filename.temp_file "facile_chaos_store" ".seg" in
+  Sys.remove p;
+  p
+
+(* Run `facile <args>` to completion, timed; output discarded. *)
+let run_cmd args =
+  let t0 = Unix.gettimeofday () in
+  let code =
+    Sys.command
+      (String.concat " " (List.map Filename.quote (bin :: args))
+      ^ " >/dev/null 2>&1")
+  in
+  (code, Unix.gettimeofday () -. t0)
+
+(* The one-line {"config":...} announce on serve startup carries the
+   warm-load count. *)
+let announced_warm_records r =
+  List.find_map
+    (fun l ->
+      match Json.parse l with
+      | Ok j ->
+        Option.bind (Json.member "config" j) (fun c ->
+            Option.bind (Json.member "warm_records" c) Json.int_opt)
+      | Error _ -> None)
+    r.err_lines
+
+let flip_file_bit path off =
+  let ic = open_in_bin path in
+  let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  Bytes.set s off (Char.chr (Char.code (Bytes.get s off) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc s;
+  close_out oc
+
+(* [n] requests cycling 16 distinct memo keys (8 hexes x 2 arches);
+   arch switches per block of 8 so the pairs don't alias on parity *)
+let store_requests n =
+  List.init n (fun i ->
+      Json.to_string
+        (Json.Obj
+           [ "id", Json.Int i;
+             "arch", Json.Str (if i / 8 mod 2 = 0 then "SKL" else "HSW");
+             "hex", Json.Str valid_hexes.(i mod Array.length valid_hexes) ]))
+
+let phase_store_warm () =
+  Printf.printf "phase: persistent store warm restart\n%!";
+  let path = temp_path () in
+  let args = [ "--queue"; "100000"; "--store"; path ] in
+  let reqs = store_requests 48 in
+  let cold = run_serve ~args reqs in
+  check "cold run exit 0" (cold.exit_code = 0);
+  check "cold run starts empty" (announced_warm_records cold = Some 0);
+  (* the graceful-shutdown flush must leave a store that satisfies the
+     full recompute audit: every persisted prediction equals a fresh
+     model run, bit for bit *)
+  let c, _ = run_cmd [ "cache"; "verify"; "--recompute"; path ] in
+  checkf "store verifies against recomputation" (c = 0) "exit %d" c;
+  let warm = run_serve ~args reqs in
+  check "warm run exit 0" (warm.exit_code = 0);
+  checkf "warm run announces the recovered records"
+    (announced_warm_records warm = Some 16)
+    "announced %s"
+    (match announced_warm_records warm with
+     | Some n -> string_of_int n
+     | None -> "nothing");
+  let base = by_id cold.lines and rerun = by_id warm.lines in
+  let diverged =
+    List.filter
+      (fun (id, (line, _)) ->
+        match List.assoc_opt id base with
+        | Some (bline, _) -> bline <> line
+        | None -> true)
+      rerun
+  in
+  checkf "responses bit-identical across restart" (diverged = [])
+    "%d diverged" (List.length diverged);
+  (match warm.final_stats with
+   | None -> check "final stats flushed" false
+   | Some s ->
+     (* with every key seeded, no warm request recomputes *)
+     checkf "every warm request served from the seeded cache"
+       (get_int [ "cache"; "hits" ] s = List.length reqs)
+       "hits=%d" (get_int [ "cache"; "hits" ] s);
+     checkf "shutdown flush accounted"
+       (get_int [ "store"; "flushes" ] s >= 1)
+       "flushes=%d" (get_int [ "store"; "flushes" ] s);
+     checkf "no persist errors"
+       (get_int [ "store"; "persist_errors" ] s = 0)
+       "persist_errors=%d" (get_int [ "store"; "persist_errors" ] s));
+  Sys.remove path
+
+let phase_store_crash () =
+  Printf.printf "phase: store crash recovery (SIGKILL mid-stream)\n%!";
+  let path = temp_path () in
+  let args =
+    [ "--queue"; "100000"; "--store"; path; "--store-flush"; "1" ]
+  in
+  let r =
+    run_serve ~args ~pace:0.002 ~kill_signal:Sys.sigkill ~kill_after:40
+      (store_requests 120)
+  in
+  checkf "killed hard" (r.exit_code = 128 + 9) "exit %d" r.exit_code;
+  check "predictions flushed before the kill"
+    (Sys.file_exists path && (Unix.stat path).Unix.st_size > 24);
+  (* restart over the same store: recovery truncates at most the frame
+     being written, then serving resumes warm *)
+  let r2 = run_serve ~args (store_requests 48) in
+  check "restart exit 0" (r2.exit_code = 0);
+  checkf "restart recovered records"
+    (match announced_warm_records r2 with Some n -> n >= 1 | None -> false)
+    "announced %s"
+    (match announced_warm_records r2 with
+     | Some n -> string_of_int n
+     | None -> "nothing");
+  let c, _ = run_cmd [ "cache"; "verify"; "--recompute"; path ] in
+  checkf "verify passes after crash recovery" (c = 0) "exit %d" c;
+  (* a corrupted frame must fail verification with the check exit code *)
+  flip_file_bit path (24 + 8);  (* first payload byte of the first frame *)
+  let c', _ = run_cmd [ "cache"; "verify"; path ] in
+  checkf "verify rejects the corrupted store" (c' = 10) "exit %d" c';
+  Sys.remove path
+
+let phase_store_bench () =
+  Printf.printf "phase: store warm-vs-cold batch bench\n%!";
+  let path = temp_path () in
+  let input = Filename.temp_file "facile_chaos_bench" ".hex" in
+  let n = 256 in
+  let oc = open_out input in
+  for i = 1 to n do
+    (* distinct blocks: nop sleds of increasing length ending in a
+       real add, so every line is a fresh memo key *)
+    output_string oc (String.concat "" (List.init i (fun _ -> "90")));
+    output_string oc "4801d8\n"
+  done;
+  close_out oc;
+  let cold_code, cold_s = run_cmd [ "batch"; "--store"; path; input ] in
+  checkf "cold batch exit 0" (cold_code = 0) "exit %d" cold_code;
+  let warm_code, warm_s = run_cmd [ "batch"; "--store"; path; input ] in
+  checkf "warm batch exit 0" (warm_code = 0) "exit %d" warm_code;
+  let speedup = if warm_s > 0. then cold_s /. warm_s else 0. in
+  bench_record "store"
+    [ "blocks", Json.Int n;
+      "cold_s", Json.Float cold_s;
+      "warm_s", Json.Float warm_s;
+      "speedup", Json.Float speedup ];
+  Sys.remove path;
+  Sys.remove input
+
 let () =
   (* writes to an already-dead server (SIGTERM phase) must raise
      Sys_error, not kill the harness *)
@@ -772,6 +943,9 @@ let () =
   phase_sigterm ();
   phase_breaker ();
   phase_lru ();
+  phase_store_warm ();
+  phase_store_crash ();
+  phase_store_bench ();
   phase_tcp_storm ();
   phase_tcp_rate ();
   phase_tcp_bench ();

@@ -70,6 +70,35 @@ let lru_tests =
         Alcotest.(check int) "evictions" 49 (Lru.evictions t);
         Alcotest.(check (option int)) "last one wins" (Some 50)
           (Lru.find t 50));
+    Alcotest.test_case "capacity one: promote and update churn" `Quick
+      (fun () ->
+        (* cap 1 is the degenerate case where head = tail: promote of
+           the only entry and update-in-place must not corrupt the
+           recency list while every new key evicts *)
+        let t = Lru.create 1 in
+        Lru.add t "a" 1;
+        Alcotest.(check (option int)) "promote sole entry" (Some 1)
+          (Lru.find t "a");
+        Lru.add t "a" 2;  (* update in place: no eviction *)
+        Alcotest.(check int) "update is free" 0 (Lru.evictions t);
+        for i = 1 to 25 do
+          Lru.add t (string_of_int i) i;
+          Alcotest.(check (option int)) "new key readable" (Some i)
+            (Lru.find t (string_of_int i));
+          Alcotest.(check int) "bounded" 1 (Lru.length t)
+        done;
+        Alcotest.(check int) "one eviction per new key" 25 (Lru.evictions t);
+        Alcotest.(check bool) "a long gone" false (Lru.mem t "a"));
+    Alcotest.test_case "to_list is most-recent first, no promotion" `Quick
+      (fun () ->
+        let t = Lru.create 3 in
+        Lru.add t "a" 1; Lru.add t "b" 2; Lru.add t "c" 3;
+        ignore (Lru.find t "a");  (* promote a over c *)
+        Alcotest.(check (list (pair string int))) "snapshot order"
+          [ ("a", 1); ("c", 3); ("b", 2) ] (Lru.to_list t);
+        (* the snapshot itself must not have promoted anything *)
+        Alcotest.(check (list (pair string int))) "stable"
+          [ ("a", 1); ("c", 3); ("b", 2) ] (Lru.to_list t));
     Alcotest.test_case "rejects capacity < 1" `Quick (fun () ->
         match Lru.create 0 with
         | (_ : (int, int) Lru.t) -> Alcotest.fail "accepted cap 0"
@@ -134,6 +163,33 @@ let bqueue_tests =
         Bqueue.close q;
         Thread.join consumer;
         Alcotest.(check (option int)) "unblocked with None" None !result);
+    Alcotest.test_case "close while full: pushers shed, no deadlock" `Quick
+      (fun () ->
+        (* a full queue that gets closed must neither wedge concurrent
+           pushers (push sheds, never blocks) nor drop the items that
+           were already queued *)
+        let q : int Bqueue.t = Bqueue.create 2 in
+        Alcotest.(check bool) "fill 1" true (Bqueue.push q 1);
+        Alcotest.(check bool) "fill 2" true (Bqueue.push q 2);
+        let shed = Atomic.make 0 in
+        let pushers =
+          List.init 4 (fun i ->
+              Thread.create
+                (fun () ->
+                  for j = 0 to 24 do
+                    if not (Bqueue.push q (100 + (i * 25) + j)) then
+                      Atomic.incr shed
+                  done)
+                ())
+        in
+        Bqueue.close q;
+        (* if close-while-full could deadlock a pusher, this join would
+           hang and the test runner's timeout would flag it *)
+        List.iter Thread.join pushers;
+        Alcotest.(check int) "every racing push shed" 100 (Atomic.get shed);
+        Alcotest.(check (option int)) "drain 1" (Some 1) (Bqueue.pop q);
+        Alcotest.(check (option int)) "drain 2" (Some 2) (Bqueue.pop q);
+        Alcotest.(check (option int)) "then None" None (Bqueue.pop q));
     Alcotest.test_case "producer/consumer keeps order" `Quick (fun () ->
         let q = Bqueue.create 4 in
         let seen = ref [] in

@@ -38,10 +38,16 @@ let bench_record name fields =
     | _ -> Filename.current_dir_name
   in
   let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
-  let oc = open_out path in
+  (* write-then-rename so a crash mid-bench can never leave a torn
+     BENCH_<name>.json to poison the bench-perf regression gate: the
+     rename is atomic, so readers see the old record or the new one,
+     never a prefix *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   output_string oc line;
   output_char oc '\n';
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* Cached evaluation data: per (arch, mode), the analyzed blocks and    *)

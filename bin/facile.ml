@@ -960,8 +960,13 @@ let region_cmd =
 (* ----- check: static self-verification of the data layers ----- *)
 
 let check_cmd =
-  let run arches families json =
+  let run arches families json list =
     finish (fun () ->
+        if list then begin
+          List.iter print_endline Facile_check.Check.analyzer_names;
+          Ok ()
+        end
+        else
         let* cfgs =
           match arches with
           | [] -> Ok Config.all
@@ -1020,6 +1025,10 @@ let check_cmd =
     in
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"FAMILY" ~doc)
   in
+  let list_arg =
+    let doc = "List the analyzer family names, one per line, and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
   let man =
     [ `S Manpage.s_description;
       `P
@@ -1041,7 +1050,94 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~man
        ~doc:"Statically verify model tables, codec, and configs.")
-    Term.(const run $ arches_arg $ only_arg $ json_arg)
+    Term.(const run $ arches_arg $ only_arg $ json_arg $ list_arg)
+
+(* ----- lint: concurrency-discipline analysis of our own sources ----- *)
+
+let lint_cmd =
+  let run families json list roots =
+    finish (fun () ->
+        if list then begin
+          List.iter print_endline Facile_lint.Lint.rule_families;
+          Ok ()
+        end
+        else
+          let* families =
+            match families with
+            | [] -> Ok Facile_lint.Lint.rule_families
+            | l ->
+              let bad =
+                List.filter
+                  (fun f -> not (List.mem f Facile_lint.Lint.rule_families))
+                  l
+              in
+              if bad = [] then Ok l
+              else
+                Error
+                  (Err.v Err.Parse_error
+                     (Printf.sprintf "unknown rule family %s (expected %s)"
+                        (String.concat "," bad)
+                        (String.concat "|" Facile_lint.Lint.rule_families)))
+          in
+          let roots =
+            match roots with [] -> Facile_lint.Lint.default_roots | l -> l
+          in
+          let r = Facile_lint.Lint.run ~families ~roots () in
+          if json then
+            print_endline
+              (Json.to_string (Facile_check.Check.report_to_json r))
+          else begin
+            List.iter
+              (fun f -> print_endline (Facile_check.Finding.to_string f))
+              r.Facile_check.Check.findings;
+            Printf.printf "lint: %s\n" (Facile_check.Check.summary r)
+          end;
+          if Facile_check.Check.ok r then Ok ()
+          else Error (Err.v Err.Lint_failed (Facile_check.Check.summary r)))
+  in
+  let only_arg =
+    let doc =
+      "Rule family to run (repeatable; lock, blocking, order, fields, \
+       handlers; default: all)."
+    in
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"RULE" ~doc)
+  in
+  let list_arg =
+    let doc = "List the rule family names, one per line, and exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let roots_arg =
+    let doc =
+      "Directory or .ml file to lint (repeatable; default: lib bin test \
+       bench examples)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc)
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Statically analyzes the repository's own OCaml sources (parsed \
+         with the compiler's own front end) for concurrency-discipline \
+         violations in the serving stack. Rule families: lock (raw \
+         Mutex.lock/unlock and raw Condition.wait outside \
+         lib/core/sync.ml, plus re-acquiring a held lock), blocking \
+         (blocking calls while a Sync.with_lock section is open), order \
+         (cycles in the inter-module lock-acquisition graph), fields \
+         (mutable record fields in concurrent code that are neither \
+         Atomic.t nor mutex-guarded nor annotated (* lint: unguarded *)), \
+         and handlers (signal handlers and at_exit callbacks must only \
+         touch Atomic flags).";
+      `P
+        "Findings carry a stable rule id (catalogued in DESIGN.md \
+         section 14) and a severity. Exit status is 13 (lint_failed) \
+         when any error-severity finding is reported, 0 otherwise." ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~man
+       ~doc:
+         "Statically verify the concurrency discipline of this \
+          repository's own sources.")
+    Term.(const run $ only_arg $ json_arg $ list_arg $ roots_arg)
 
 (* ----- cache: the persistent prediction store ----- *)
 
@@ -1338,4 +1434,4 @@ let () =
        (Cmd.group info
           [ predict_cmd; explain_cmd; sweep_cmd; batch_cmd; serve_cmd;
             simulate_cmd; isa_cmd; region_cmd; disasm_cmd; check_cmd;
-            cache_cmd ]))
+            lint_cmd; cache_cmd ]))

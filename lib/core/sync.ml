@@ -1,0 +1,32 @@
+(* The one module allowed to touch Mutex.lock/Mutex.unlock directly.
+
+   Every critical section in the tree goes through [with_lock] (or
+   [with_lock_cond] for the condition-variable wait idiom), so an
+   exception raised mid-section can never leak a held lock and
+   deadlock the pool — the failure class `facile lint`'s lock-safety
+   rule exists to keep extinct.  The linter enforces the discipline
+   structurally: raw Mutex.lock/unlock and raw Condition.wait outside
+   sync.ml are error findings (DESIGN.md section 14). *)
+
+let with_lock mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Mutex.unlock mu;
+    Printexc.raise_with_backtrace e bt
+
+(* The sanctioned blocking-wait idiom: hold [mu], wait on [cond] until
+   [until ()] holds, then run [f] in the same critical section.
+   Condition.wait atomically releases and re-acquires [mu], so the
+   lock-is-held invariant survives the sleep; it is the only blocking
+   call the lint blocking-under-lock rule allowlists. *)
+let with_lock_cond mu cond ~until f =
+  with_lock mu (fun () ->
+      while not (until ()) do
+        Condition.wait cond mu
+      done;
+      f ())

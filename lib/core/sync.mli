@@ -1,0 +1,16 @@
+(** Exception-safe critical sections — the only sanctioned way to use
+    a [Mutex.t] in this tree.  `facile lint` (DESIGN.md section 14)
+    flags raw [Mutex.lock]/[Mutex.unlock] and raw [Condition.wait]
+    anywhere outside this module's implementation. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock mu f] runs [f ()] with [mu] held and releases [mu] on
+    every exit path, including an exception from [f] (re-raised with
+    its original backtrace). *)
+
+val with_lock_cond :
+  Mutex.t -> Condition.t -> until:(unit -> bool) -> (unit -> 'a) -> 'a
+(** [with_lock_cond mu cond ~until f] is the condition-wait idiom as
+    one combinator: with [mu] held, wait on [cond] until [until ()]
+    is true, then run [f ()] in the same critical section.  [until]
+    and [f] both run under [mu]. *)

@@ -290,28 +290,24 @@ let build cfg =
   done;
   t
 
-(* One table per arch, built on first use.  The publish through the
-   option array is a benign race: a stale [None] read only means taking
-   the mutex and finding the table already built. *)
-let tables : table option array = Array.make n_arches None
-let build_mu = Mutex.create ()
+(* One table per arch, built on first use and published through an
+   atomic cell (this library sits below Facile_core, so no
+   Sync.with_lock here — and none is needed).  Two domains racing on a
+   cold arch may both build; the build is pure and deterministic from
+   the same Db source, so the CAS loser discards an identical table
+   and adopts the published one.  That duplicate work happens at most
+   once per arch per process, a fair price for a lock-free read path. *)
+let tables : table option Atomic.t array =
+  Array.init n_arches (fun _ -> Atomic.make None)
 
 let table cfg =
   let ai = arch_index cfg.Config.arch in
-  match tables.(ai) with
+  match Atomic.get tables.(ai) with
   | Some t -> t
   | None ->
-    Mutex.lock build_mu;
-    let t =
-      match tables.(ai) with
-      | Some t -> t
-      | None ->
-        let t = build canonical.(ai) in
-        tables.(ai) <- Some t;
-        t
-    in
-    Mutex.unlock build_mu;
-    t
+    let t = build canonical.(ai) in
+    if Atomic.compare_and_set tables.(ai) None (Some t) then t
+    else Option.get (Atomic.get tables.(ai))
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)

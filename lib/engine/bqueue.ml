@@ -2,7 +2,14 @@
    never blocks — a full (or closed) queue refuses the item so the
    producer can shed load instead of growing memory.  [pop] blocks
    until an item arrives or the queue is closed and drained, which
-   doubles as the graceful-shutdown signal for consumers. *)
+   doubles as the graceful-shutdown signal for consumers.
+
+   Every critical section goes through {!Facile_core.Sync}: a raising
+   caller (or a future edit that raises mid-section) releases the
+   lock on the way out instead of deadlocking every other producer
+   and consumer of the queue. *)
+
+module Sync = Facile_core.Sync
 
 type 'a t = {
   cap : int;
@@ -19,42 +26,25 @@ let create cap =
 
 let capacity t = t.cap
 
-let length t =
-  Mutex.lock t.mu;
-  let n = Queue.length t.q in
-  Mutex.unlock t.mu;
-  n
+let length t = Sync.with_lock t.mu (fun () -> Queue.length t.q)
 
 let push t x =
-  Mutex.lock t.mu;
-  let accepted =
-    if t.closed || Queue.length t.q >= t.cap then false
-    else begin
-      Queue.push x t.q;
-      Condition.signal t.not_empty;
-      true
-    end
-  in
-  Mutex.unlock t.mu;
-  accepted
+  Sync.with_lock t.mu (fun () ->
+      if t.closed || Queue.length t.q >= t.cap then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        true
+      end)
 
 let pop t =
-  Mutex.lock t.mu;
-  while Queue.is_empty t.q && not t.closed do
-    Condition.wait t.not_empty t.mu
-  done;
-  let item = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
-  Mutex.unlock t.mu;
-  item
+  Sync.with_lock_cond t.mu t.not_empty
+    ~until:(fun () -> t.closed || not (Queue.is_empty t.q))
+    (fun () -> if Queue.is_empty t.q then None else Some (Queue.pop t.q))
 
 let close t =
-  Mutex.lock t.mu;
-  t.closed <- true;
-  Condition.broadcast t.not_empty;
-  Mutex.unlock t.mu
+  Sync.with_lock t.mu (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty)
 
-let is_closed t =
-  Mutex.lock t.mu;
-  let c = t.closed in
-  Mutex.unlock t.mu;
-  c
+let is_closed t = Sync.with_lock t.mu (fun () -> t.closed)

@@ -1,5 +1,6 @@
 open Facile_uarch
 open Facile_core
+module Sync = Facile_core.Sync
 
 (* ------------------------------------------------------------------ *)
 (* Worker pool                                                         *)
@@ -37,24 +38,22 @@ type t = {
 }
 
 let rec worker_loop pool seen_epoch =
-  Mutex.lock pool.mutex;
-  while (not pool.stop) && pool.epoch = seen_epoch do
-    Condition.wait pool.have_work pool.mutex
-  done;
-  if pool.stop then Mutex.unlock pool.mutex
-  else begin
-    let epoch = pool.epoch in
-    let batch = Option.get pool.batch in
-    Mutex.unlock pool.mutex;
+  let work =
+    Sync.with_lock_cond pool.mutex pool.have_work
+      ~until:(fun () -> pool.stop || pool.epoch <> seen_epoch)
+      (fun () ->
+        if pool.stop then None else Some (pool.epoch, Option.get pool.batch))
+  in
+  match work with
+  | None -> ()
+  | Some (epoch, batch) ->
     (* batch closures store per-task exceptions themselves; a raise here
        would mean a bug in the engine, not in user code *)
     batch ();
-    Mutex.lock pool.mutex;
-    pool.active <- pool.active - 1;
-    if pool.active = 0 then Condition.broadcast pool.quiesced;
-    Mutex.unlock pool.mutex;
+    Sync.with_lock pool.mutex (fun () ->
+        pool.active <- pool.active - 1;
+        if pool.active = 0 then Condition.broadcast pool.quiesced);
     worker_loop pool epoch
-  end
 
 let default_cache_cap = 65536
 
@@ -80,10 +79,9 @@ let create ?workers ?(memoize = true) ?(cache_cap = default_cache_cap) () =
 let size pool = pool.size
 
 let shutdown pool =
-  Mutex.lock pool.mutex;
-  pool.stop <- true;
-  Condition.broadcast pool.have_work;
-  Mutex.unlock pool.mutex;
+  Sync.with_lock pool.mutex (fun () ->
+      pool.stop <- true;
+      Condition.broadcast pool.have_work);
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
@@ -96,19 +94,15 @@ let with_pool ?workers ?memoize f =
 let run_batch pool batch =
   if pool.domains = [] then batch ()
   else begin
-    Mutex.lock pool.mutex;
-    pool.batch <- Some batch;
-    pool.epoch <- pool.epoch + 1;
-    pool.active <- List.length pool.domains;
-    Condition.broadcast pool.have_work;
-    Mutex.unlock pool.mutex;
+    Sync.with_lock pool.mutex (fun () ->
+        pool.batch <- Some batch;
+        pool.epoch <- pool.epoch + 1;
+        pool.active <- List.length pool.domains;
+        Condition.broadcast pool.have_work);
     batch ();
-    Mutex.lock pool.mutex;
-    while pool.active > 0 do
-      Condition.wait pool.quiesced pool.mutex
-    done;
-    pool.batch <- None;
-    Mutex.unlock pool.mutex
+    Sync.with_lock_cond pool.mutex pool.quiesced
+      ~until:(fun () -> pool.active = 0)
+      (fun () -> pool.batch <- None)
   end
 
 let map pool f xs =
@@ -178,18 +172,21 @@ let predict pool ~mode b =
     let key =
       (b.Block.cfg.Config.arch, notion, Block.form_sig b, b.Block.bytes)
     in
-    Mutex.lock pool.memo_mutex;
-    let cached = Lru.find pool.memo key in
-    (match cached with Some _ -> pool.hits <- pool.hits + 1 | None -> ());
-    Mutex.unlock pool.memo_mutex;
+    let cached =
+      Sync.with_lock pool.memo_mutex (fun () ->
+          let cached = Lru.find pool.memo key in
+          (match cached with
+          | Some _ -> pool.hits <- pool.hits + 1
+          | None -> ());
+          cached)
+    in
     match cached with
     | Some p -> p
     | None ->
       let p = predict_one notion b in
-      Mutex.lock pool.memo_mutex;
-      pool.misses <- pool.misses + 1;
-      Lru.add pool.memo key p;
-      Mutex.unlock pool.memo_mutex;
+      Sync.with_lock pool.memo_mutex (fun () ->
+          pool.misses <- pool.misses + 1;
+          Lru.add pool.memo key p);
       p
   end
 
@@ -212,9 +209,10 @@ let predict_batch pool ~mode blocks =
     (* consult the cross-batch cache and pick the first occurrence of
        each unseen key — all on the calling domain, so the parallel
        section below touches no shared table *)
-    Mutex.lock pool.memo_mutex;
-    let cached = Array.map (Lru.find pool.memo) keys in
-    Mutex.unlock pool.memo_mutex;
+    let cached =
+      Sync.with_lock pool.memo_mutex (fun () ->
+          Array.map (Lru.find pool.memo) keys)
+    in
     let first = Hashtbl.create 64 in
     let todo = ref [] in
     Array.iteri
@@ -231,15 +229,14 @@ let predict_batch pool ~mode blocks =
         todo
     in
     let fresh = Hashtbl.create (Array.length todo) in
-    Mutex.lock pool.memo_mutex;
-    Array.iteri
-      (fun j i ->
-        Lru.add pool.memo keys.(i) computed.(j);
-        Hashtbl.replace fresh keys.(i) computed.(j))
-      todo;
-    pool.misses <- pool.misses + Array.length todo;
-    pool.hits <- pool.hits + (Array.length blocks - Array.length todo);
-    Mutex.unlock pool.memo_mutex;
+    Sync.with_lock pool.memo_mutex (fun () ->
+        Array.iteri
+          (fun j i ->
+            Lru.add pool.memo keys.(i) computed.(j);
+            Hashtbl.replace fresh keys.(i) computed.(j))
+          todo;
+        pool.misses <- pool.misses + Array.length todo;
+        pool.hits <- pool.hits + (Array.length blocks - Array.length todo));
     Array.to_list
       (Array.mapi
          (fun i k ->
@@ -250,10 +247,7 @@ let predict_batch pool ~mode blocks =
   end
 
 let memo_stats pool =
-  Mutex.lock pool.memo_mutex;
-  let s = (pool.hits, pool.misses) in
-  Mutex.unlock pool.memo_mutex;
-  s
+  Sync.with_lock pool.memo_mutex (fun () -> (pool.hits, pool.misses))
 
 (* ------------------------------------------------------------------ *)
 (* Memo persistence: the warm-restart surface of the persistent
@@ -265,20 +259,15 @@ let memo_stats pool =
 type memo_key = Config.arch * [ `Loop | `Unrolled ] * int * string
 
 let memo_entries pool =
-  Mutex.lock pool.memo_mutex;
-  let entries = Lru.to_list pool.memo in
-  Mutex.unlock pool.memo_mutex;
-  entries
+  Sync.with_lock pool.memo_mutex (fun () -> Lru.to_list pool.memo)
 
 let memo_seed pool entries =
-  if pool.memoize then begin
-    Mutex.lock pool.memo_mutex;
-    (* entries arrive most-recent first ([memo_entries] order, which
-       the store preserves); insert oldest first so the LRU keeps the
-       same recency and a bounded cache evicts the same cold tail *)
-    List.iter (fun (k, v) -> Lru.add pool.memo k v) (List.rev entries);
-    Mutex.unlock pool.memo_mutex
-  end
+  if pool.memoize then
+    Sync.with_lock pool.memo_mutex (fun () ->
+        (* entries arrive most-recent first ([memo_entries] order, which
+           the store preserves); insert oldest first so the LRU keeps the
+           same recency and a bounded cache evicts the same cold tail *)
+        List.iter (fun (k, v) -> Lru.add pool.memo k v) (List.rev entries))
 
 type cache_stats = {
   hits : int;
@@ -289,11 +278,7 @@ type cache_stats = {
 }
 
 let cache_stats pool =
-  Mutex.lock pool.memo_mutex;
-  let s =
-    { hits = pool.hits; misses = pool.misses;
-      evictions = Lru.evictions pool.memo; entries = Lru.length pool.memo;
-      capacity = Lru.capacity pool.memo }
-  in
-  Mutex.unlock pool.memo_mutex;
-  s
+  Sync.with_lock pool.memo_mutex (fun () ->
+      { hits = pool.hits; misses = pool.misses;
+        evictions = Lru.evictions pool.memo; entries = Lru.length pool.memo;
+        capacity = Lru.capacity pool.memo })

@@ -17,6 +17,8 @@
    Every injection increments a per-point counter, snapshotted by
    [snapshot] so the serving layer can report each injected fault. *)
 
+module Sync = Facile_core.Sync
+
 exception Injected of string
 exception Deadline_exceeded
 
@@ -35,10 +37,9 @@ let rules : (string, rule) Hashtbl.t = Hashtbl.create 8
 let armed = Atomic.make false (* fast-path gate: any rules configured? *)
 
 let clear () =
-  Mutex.lock mu;
-  Hashtbl.reset rules;
-  Atomic.set armed false;
-  Mutex.unlock mu
+  Sync.with_lock mu (fun () ->
+      Hashtbl.reset rules;
+      Atomic.set armed false)
 
 (* splitmix64: tiny, seedable, good enough for Bernoulli draws *)
 let splitmix64 state =
@@ -89,11 +90,10 @@ let parse_spec spec =
 
 let configure spec =
   let parsed = parse_spec spec in
-  Mutex.lock mu;
-  Hashtbl.reset rules;
-  List.iter (fun (p, r) -> Hashtbl.replace rules p r) parsed;
-  Atomic.set armed (parsed <> []);
-  Mutex.unlock mu
+  Sync.with_lock mu (fun () ->
+      Hashtbl.reset rules;
+      List.iter (fun (p, r) -> Hashtbl.replace rules p r) parsed;
+      Atomic.set armed (parsed <> []))
 
 let configure_from_env () =
   match Sys.getenv_opt "FACILE_FAULT" with
@@ -125,20 +125,19 @@ let with_deadline budget_ns f =
 (* ----- the hook ----- *)
 
 let inject p =
-  Mutex.lock mu;
   let fire =
-    match Hashtbl.find_opt rules p with
-    | None -> false
-    | Some r ->
-      r.hits <- r.hits + 1;
-      if r.limit >= 0 && r.injected >= r.limit then false
-      else begin
-        let fire = r.rate >= 1.0 || uniform r < r.rate in
-        if fire then r.injected <- r.injected + 1;
-        fire
-      end
+    Sync.with_lock mu (fun () ->
+        match Hashtbl.find_opt rules p with
+        | None -> false
+        | Some r ->
+          r.hits <- r.hits + 1;
+          if r.limit >= 0 && r.injected >= r.limit then false
+          else begin
+            let fire = r.rate >= 1.0 || uniform r < r.rate in
+            if fire then r.injected <- r.injected + 1;
+            fire
+          end)
   in
-  Mutex.unlock mu;
   if fire then raise (Injected p)
 
 let point p =
@@ -152,37 +151,28 @@ let point p =
    is as deterministic as the firing schedule. *)
 let draw p =
   if not (Atomic.get armed) then None
-  else begin
-    Mutex.lock mu;
-    let payload =
-      match Hashtbl.find_opt rules p with
-      | None -> None
-      | Some r ->
-        r.hits <- r.hits + 1;
-        if r.limit >= 0 && r.injected >= r.limit then None
-        else begin
-          let fire = r.rate >= 1.0 || uniform r < r.rate in
-          if fire then begin
-            r.injected <- r.injected + 1;
-            let state, out = splitmix64 r.prng in
-            r.prng <- state;
-            (* land with the native max_int: Int64.max_int keeps 63
-               bits, whose top bit is the sign of OCaml's 63-bit int —
-               the contract promises a non-negative payload *)
-            Some (Int64.to_int out land max_int)
-          end
-          else None
-        end
-    in
-    Mutex.unlock mu;
-    payload
-  end
+  else
+    Sync.with_lock mu (fun () ->
+        match Hashtbl.find_opt rules p with
+        | None -> None
+        | Some r ->
+          r.hits <- r.hits + 1;
+          if r.limit >= 0 && r.injected >= r.limit then None
+          else begin
+            let fire = r.rate >= 1.0 || uniform r < r.rate in
+            if fire then begin
+              r.injected <- r.injected + 1;
+              let state, out = splitmix64 r.prng in
+              r.prng <- state;
+              (* land with the native max_int: Int64.max_int keeps 63
+                 bits, whose top bit is the sign of OCaml's 63-bit int —
+                 the contract promises a non-negative payload *)
+              Some (Int64.to_int out land max_int)
+            end
+            else None
+          end)
 
 let snapshot () =
-  Mutex.lock mu;
-  let s =
-    Hashtbl.fold (fun p r acc -> (p, (r.injected, r.hits)) :: acc) rules []
-    |> List.sort compare
-  in
-  Mutex.unlock mu;
-  s
+  Sync.with_lock mu (fun () ->
+      Hashtbl.fold (fun p r acc -> (p, (r.injected, r.hits)) :: acc) rules []
+      |> List.sort compare)

@@ -10,8 +10,8 @@ type event = Line of string | Oversized of int
 type t = {
   cap : int;
   buf : Buffer.t;
-  mutable discarding : bool;
-  mutable dropped : int;  (* bytes of the current oversized line so far *)
+  mutable discarding : bool; (* lint: unguarded — single reader thread *)
+  mutable dropped : int; (* lint: unguarded — bytes of the current oversized line; single reader thread *)
 }
 
 let create ~max_line_bytes =

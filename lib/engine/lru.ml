@@ -6,17 +6,17 @@
 
 type ('k, 'v) node = {
   key : 'k;
-  mutable value : 'v;
-  mutable prev : ('k, 'v) node option; (* towards most-recent *)
-  mutable next : ('k, 'v) node option; (* towards least-recent *)
+  mutable value : 'v; (* lint: unguarded — caller holds the memo mutex *)
+  mutable prev : ('k, 'v) node option; (* lint: unguarded — towards most-recent *)
+  mutable next : ('k, 'v) node option; (* lint: unguarded — towards least-recent *)
 }
 
 type ('k, 'v) t = {
   cap : int;
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
-  mutable head : ('k, 'v) node option; (* most-recent *)
-  mutable tail : ('k, 'v) node option; (* least-recent *)
-  mutable evictions : int;
+  mutable head : ('k, 'v) node option; (* lint: unguarded — most-recent; caller-locked *)
+  mutable tail : ('k, 'v) node option; (* lint: unguarded — least-recent; caller-locked *)
+  mutable evictions : int; (* lint: unguarded — caller holds the memo mutex *)
 }
 
 let create cap =

@@ -13,6 +13,7 @@
 
 module Json = Facile_obs.Json
 module Obs = Facile_obs.Obs
+module Sync = Facile_core.Sync
 
 type config = {
   host : string;
@@ -142,10 +143,7 @@ let run ?(signals = true) ?(announce = fun ~host:_ ~port:_ -> ()) t cfg =
    | Unix.ADDR_UNIX _ -> ());
   let conns : (int, conn) Hashtbl.t = Hashtbl.create 64 in
   let cmu = Mutex.create () in
-  let locked f =
-    Mutex.lock cmu;
-    Fun.protect ~finally:(fun () -> Mutex.unlock cmu) f
-  in
+  let locked f = Sync.with_lock cmu f in
   let active = Atomic.make 0 in
   let next_id = ref 0 in
   let serve_conn id cfd =

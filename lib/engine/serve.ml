@@ -40,6 +40,7 @@ open Facile_core
 module Json = Facile_obs.Json
 module Obs = Facile_obs.Obs
 module Clock = Facile_obs.Clock
+module Sync = Facile_core.Sync
 
 (* Version of the wire protocol.  Bump on any incompatible change to
    the request/response shapes; responses carry it as "proto" and
@@ -194,18 +195,13 @@ let create ?workers ?memoize ?cache_cap ?deadline_ms ?(queue_cap = 128)
 let engine t = t.engine
 
 let set_persist t f =
-  Mutex.lock t.persist_mu;
-  t.persist <- Some f;
-  Mutex.unlock t.persist_mu
+  Sync.with_lock t.persist_mu (fun () -> t.persist <- Some f)
 
 (* Run the persistence hook; a failing flush (disk full, injected
    fault) is counted, never propagated — serving keeps its answers
    even when it cannot keep its cache. *)
 let run_persist t =
-  Mutex.lock t.persist_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.persist_mu)
-    (fun () ->
+  Sync.with_lock t.persist_mu (fun () ->
       match t.persist with
       | None -> ()
       | Some f ->
@@ -220,11 +216,9 @@ let tick_persist t =
   | None -> ()
   | Some n ->
     let due =
-      Mutex.lock t.persist_mu;
-      t.since_flush <- t.since_flush + 1;
-      let due = t.since_flush >= n && t.persist <> None in
-      Mutex.unlock t.persist_mu;
-      due
+      Sync.with_lock t.persist_mu (fun () ->
+          t.since_flush <- t.since_flush + 1;
+          t.since_flush >= n && t.persist <> None)
     in
     if due then run_persist t
 
@@ -243,9 +237,7 @@ let conn_opened t =
 let conn_closed t = Atomic.decr t.conns.active
 let conn_rejected t = Atomic.incr t.conns.rejected
 
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+let locked t f = Sync.with_lock t.mu f
 
 let bump tbl key =
   Hashtbl.replace tbl key

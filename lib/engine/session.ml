@@ -13,6 +13,8 @@
    shed inline), the writer is serialized by a per-session mutex, and
    a dead peer stops only this session. *)
 
+module Sync = Facile_core.Sync
+
 exception Peer_closed
 
 type transport = {
@@ -110,18 +112,15 @@ let stop t =
 let stopped t = Atomic.get t.stop_flag || Atomic.get t.peer_gone
 
 let counters t =
-  Mutex.lock t.cmu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.cmu) @@ fun () ->
-  { bytes_in = t.c_bytes_in;
-    bytes_out = t.c_bytes_out;
-    lines = t.c_lines;
-    shed = t.c_shed;
-    rate_limited = t.c_rate_limited;
-    epipe = t.c_epipe }
+  Sync.with_lock t.cmu (fun () ->
+      { bytes_in = t.c_bytes_in;
+        bytes_out = t.c_bytes_out;
+        lines = t.c_lines;
+        shed = t.c_shed;
+        rate_limited = t.c_rate_limited;
+        epipe = t.c_epipe })
 
-let counted t f =
-  Mutex.lock t.cmu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.cmu) f
+let counted t f = Sync.with_lock t.cmu f
 
 (* Refill-then-take token bucket; only the reader thread calls this,
    so the float state needs no lock. *)
@@ -143,8 +142,7 @@ let admit t =
    count it, run the policy hook, and stop this session — queued work
    is dropped on the floor because there is nobody left to read it. *)
 let write_resp t s =
-  Mutex.lock t.omu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.omu) @@ fun () ->
+  Sync.with_lock t.omu @@ fun () ->
   if not (Atomic.get t.peer_gone) then begin
     match t.tr.write (s ^ "\n") with
     | () ->

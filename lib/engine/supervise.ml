@@ -16,6 +16,7 @@
    loop); it is not a general-purpose thread-safe job pool. *)
 
 module Clock = Facile_obs.Clock
+module Sync = Facile_core.Sync
 
 type config = {
   max_respawns : int;     (* breaker threshold within [window_ns] *)
@@ -69,19 +70,24 @@ type t = {
 
 let worker_loop w =
   let rec loop () =
-    Mutex.lock w.wmu;
-    while w.pending = None && not w.stop do
-      Condition.wait w.wcond w.wmu
-    done;
-    if w.stop then Mutex.unlock w.wmu
-    else begin
-      let job = Option.get w.pending in
-      w.pending <- None;
-      Mutex.unlock w.wmu;
-      (* a raise here escapes loop and kills the domain — by design *)
+    let job =
+      Sync.with_lock_cond w.wmu w.wcond
+        ~until:(fun () -> w.pending <> None || w.stop)
+        (fun () ->
+          if w.stop then None
+          else begin
+            let j = Option.get w.pending in
+            w.pending <- None;
+            Some j
+          end)
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+      (* a raise here escapes loop and kills the domain — by design;
+         the job therefore runs outside the critical section *)
       job ();
       loop ()
-    end
   in
   loop ()
 
@@ -105,10 +111,9 @@ let create ?(config = default_config) () =
     shut = false }
 
 let join_worker w =
-  Mutex.lock w.wmu;
-  w.stop <- true;
-  Condition.broadcast w.wcond;
-  Mutex.unlock w.wmu;
+  Sync.with_lock w.wmu (fun () ->
+      w.stop <- true;
+      Condition.broadcast w.wcond);
   match w.dom with Some d -> Domain.join d | None -> ()
 
 (* Spawn the replacement once the backoff has elapsed, even with no
@@ -120,69 +125,73 @@ let respawn_after t delay_ns =
     (Thread.create
        (fun () ->
          Thread.delay (float_of_int delay_ns /. 1e9);
-         Mutex.lock t.mu;
-         if
-           (not t.shut) && (not t.is_degraded) && t.worker = None
-           && Clock.now_ns () >= t.retry_at_ns
-         then begin
-           t.worker <- Some (spawn_worker ());
-           t.respawns <- t.respawns + 1
-         end;
-         Mutex.unlock t.mu)
+         Sync.with_lock t.mu (fun () ->
+             if
+               (not t.shut) && (not t.is_degraded) && t.worker = None
+               && Clock.now_ns () >= t.retry_at_ns
+             then begin
+               t.worker <- Some (spawn_worker ());
+               t.respawns <- t.respawns + 1
+             end))
        ())
 
 let record_crash t e =
-  Mutex.lock t.mu;
-  (match t.worker with
-   | Some w ->
-     join_worker w;
-     t.worker <- None
-   | None -> ());
-  t.crashes <- t.crashes + 1;
-  t.last_crash <- Some (Printexc.to_string e);
-  let now = Clock.now_ns () in
-  t.recent <- now :: List.filter (fun ts -> now - ts <= t.cfg.window_ns) t.recent;
-  t.retry_at_ns <- now + t.backoff_ns;
-  let delay = t.backoff_ns in
-  t.backoff_ns <- min (t.backoff_ns * 2) t.cfg.backoff_cap_ns;
-  if List.length t.recent >= t.cfg.max_respawns && not t.is_degraded then begin
-    t.is_degraded <- true;
-    t.degraded_until_ns <- now + t.cfg.cooldown_ns;
-    t.degraded_transitions <- t.degraded_transitions + 1
-  end;
-  let degraded_now = t.is_degraded in
-  Mutex.unlock t.mu;
+  let degraded_now, delay =
+    Sync.with_lock t.mu (fun () ->
+        (match t.worker with
+         | Some w ->
+           (* the executor domain is already dead (its job raised), so
+              joining here cannot block on live work *)
+           join_worker w;
+           t.worker <- None
+         | None -> ());
+        t.crashes <- t.crashes + 1;
+        t.last_crash <- Some (Printexc.to_string e);
+        let now = Clock.now_ns () in
+        t.recent <-
+          now :: List.filter (fun ts -> now - ts <= t.cfg.window_ns) t.recent;
+        t.retry_at_ns <- now + t.backoff_ns;
+        let delay = t.backoff_ns in
+        t.backoff_ns <- min (t.backoff_ns * 2) t.cfg.backoff_cap_ns;
+        if
+          List.length t.recent >= t.cfg.max_respawns && not t.is_degraded
+        then begin
+          t.is_degraded <- true;
+          t.degraded_until_ns <- now + t.cfg.cooldown_ns;
+          t.degraded_transitions <- t.degraded_transitions + 1
+        end;
+        (t.is_degraded, delay))
+  in
   if not degraded_now then respawn_after t delay
 
 (* Pick the execution vehicle for one job: the live executor, a freshly
    respawned one, or — degraded / backing off / shut — the caller. *)
 let acquire t =
-  Mutex.lock t.mu;
-  let now = Clock.now_ns () in
-  if t.is_degraded && now >= t.degraded_until_ns then begin
-    (* breaker half-open -> closed: try real workers again *)
-    t.is_degraded <- false;
-    t.degraded_transitions <- t.degraded_transitions + 1;
-    t.recent <- [];
-    t.backoff_ns <- t.cfg.backoff_base_ns
-  end;
-  let w =
-    if t.shut || t.is_degraded then None
-    else
-      match t.worker with
-      | Some w -> Some w
-      | None ->
-        if now >= t.retry_at_ns then begin
-          let w = spawn_worker () in
-          t.worker <- Some w;
-          t.respawns <- t.respawns + 1;
-          Some w
-        end
-        else None
-  in
-  if w = None then t.inline_runs <- t.inline_runs + 1;
-  Mutex.unlock t.mu;
-  w
+  Sync.with_lock t.mu (fun () ->
+      let now = Clock.now_ns () in
+      if t.is_degraded && now >= t.degraded_until_ns then begin
+        (* breaker half-open -> closed: try real workers again *)
+        t.is_degraded <- false;
+        t.degraded_transitions <- t.degraded_transitions + 1;
+        t.recent <- [];
+        t.backoff_ns <- t.cfg.backoff_base_ns
+      end;
+      let w =
+        if t.shut || t.is_degraded then None
+        else
+          match t.worker with
+          | Some w -> Some w
+          | None ->
+            if now >= t.retry_at_ns then begin
+              let w = spawn_worker () in
+              t.worker <- Some w;
+              t.respawns <- t.respawns + 1;
+              Some w
+            end
+            else None
+      in
+      if w = None then t.inline_runs <- t.inline_runs + 1;
+      w)
 
 (* [run] is safe for concurrent callers (one per live connection):
    there is one executor domain, so dispatch-and-wait is serialized on
@@ -191,67 +200,62 @@ let acquire t =
    declared dead.  The degraded/backing-off inline path runs outside
    the lock: guarded inline jobs cannot interfere with each other. *)
 let run t f =
-  Mutex.lock t.run_mu;
-  match acquire t with
+  let dispatched =
+    Sync.with_lock t.run_mu (fun () ->
+        match acquire t with
+        | None -> None
+        | Some w ->
+          let smu = Mutex.create () in
+          let scond = Condition.create () in
+          let result = ref None in
+          let post r =
+            Sync.with_lock smu (fun () ->
+                result := Some r;
+                Condition.signal scond)
+          in
+          let wrapped () =
+            match f () with
+            | v -> post (Ok v)
+            | exception e ->
+              post (Error e);
+              raise e (* kill the executor domain *)
+          in
+          Sync.with_lock w.wmu (fun () ->
+              w.pending <- Some wrapped;
+              Condition.signal w.wcond);
+          let r =
+            Sync.with_lock_cond smu scond
+              ~until:(fun () -> !result <> None)
+              (fun () -> Option.get !result)
+          in
+          (match r with
+           | Ok _ ->
+             Sync.with_lock t.mu (fun () ->
+                 t.backoff_ns <- t.cfg.backoff_base_ns)
+           | Error e -> record_crash t e);
+          Some r)
+  in
+  match dispatched with
+  | Some r -> r
   | None ->
-    Mutex.unlock t.run_mu;
+    (* degraded / backing off / shut: guarded inline on the caller,
+       outside [run_mu] — inline jobs cannot interfere with each other *)
     (match f () with v -> Ok v | exception e -> Error e)
-  | Some w ->
-    Fun.protect ~finally:(fun () -> Mutex.unlock t.run_mu) @@ fun () ->
-    let smu = Mutex.create () in
-    let scond = Condition.create () in
-    let result = ref None in
-    let post r =
-      Mutex.lock smu;
-      result := Some r;
-      Condition.signal scond;
-      Mutex.unlock smu
-    in
-    let wrapped () =
-      match f () with
-      | v -> post (Ok v)
-      | exception e ->
-        post (Error e);
-        raise e (* kill the executor domain *)
-    in
-    Mutex.lock w.wmu;
-    w.pending <- Some wrapped;
-    Condition.signal w.wcond;
-    Mutex.unlock w.wmu;
-    Mutex.lock smu;
-    while !result = None do
-      Condition.wait scond smu
-    done;
-    let r = Option.get !result in
-    Mutex.unlock smu;
-    (match r with
-     | Ok _ ->
-       Mutex.lock t.mu;
-       t.backoff_ns <- t.cfg.backoff_base_ns;
-       Mutex.unlock t.mu
-     | Error e -> record_crash t e);
-    r
 
 let stats t =
-  Mutex.lock t.mu;
-  let s =
-    { respawns = t.respawns; crashes = t.crashes; degraded = t.is_degraded;
-      degraded_transitions = t.degraded_transitions;
-      inline_runs = t.inline_runs; last_crash = t.last_crash }
-  in
-  Mutex.unlock t.mu;
-  s
+  Sync.with_lock t.mu (fun () ->
+      { respawns = t.respawns; crashes = t.crashes; degraded = t.is_degraded;
+        degraded_transitions = t.degraded_transitions;
+        inline_runs = t.inline_runs; last_crash = t.last_crash })
 
-let degraded t =
-  Mutex.lock t.mu;
-  let d = t.is_degraded in
-  Mutex.unlock t.mu;
-  d
+let degraded t = Sync.with_lock t.mu (fun () -> t.is_degraded)
 
 let shutdown t =
-  Mutex.lock t.mu;
-  t.shut <- true;
-  let w = t.worker in
-  t.worker <- None;
-  Mutex.unlock t.mu;
+  let w =
+    Sync.with_lock t.mu (fun () ->
+        t.shut <- true;
+        let w = t.worker in
+        t.worker <- None;
+        w)
+  in
   Option.iter join_worker w

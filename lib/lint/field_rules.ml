@@ -1,0 +1,98 @@
+(* Atomic-discipline rule.
+
+   field-unguarded   a [mutable] record field in concurrency-relevant
+                     code that is neither [Atomic.t]-typed, nor in a
+                     file that owns a mutex (a [Mutex.t] record field
+                     or a [Mutex.create] at module level), nor
+                     annotated [(* lint: unguarded — reason *)] on its
+                     declaration line.
+
+   Scope: files under lib/engine/ or lib/store/ — the concurrent
+   serving stack — plus any file that spawns threads or domains
+   itself.  Sequential analysis code (the model, the tables, the
+   graph algorithms) mutates freely without annotations. *)
+
+open Parsetree
+module F = Facile_check.Finding
+module A = Lint_ast
+
+let norm_path p =
+  String.map (fun c -> if c = '\\' then '/' else c) p
+
+let iter_idents structure f =
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> f (A.last2 txt) loc
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.Ast_iterator.structure iter structure
+
+let spawns_concurrency src =
+  let found = ref false in
+  iter_idents src.A.structure (fun l2 _ ->
+      if l2 = "Thread.create" || l2 = "Domain.spawn" then found := true);
+  !found
+
+let in_scope src =
+  let p = norm_path src.A.path in
+  A.contains p "lib/engine/" || A.contains p "lib/store/"
+  || spawns_concurrency src
+
+let type_last2 ty =
+  match ty.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> A.last2 txt
+  | _ -> ""
+
+let is_atomic ty = type_last2 ty = "Atomic.t"
+
+(* A file "owns a mutex" when some record declares a [Mutex.t] field
+   or the module creates one at top level; its mutable fields are then
+   presumed guarded by that mutex (the lock rules police the actual
+   sections).  Files with no mutex at all must go field by field. *)
+let owns_mutex src =
+  let found = ref false in
+  let typ it ty =
+    if type_last2 ty = "Mutex.t" then found := true;
+    Ast_iterator.default_iterator.typ it ty
+  in
+  let iter = { Ast_iterator.default_iterator with typ } in
+  iter.Ast_iterator.structure iter src.A.structure;
+  if not !found then
+    iter_idents src.A.structure (fun l2 _ ->
+        if l2 = "Mutex.create" then found := true);
+  !found
+
+let check src =
+  if not (in_scope src) then []
+  else if owns_mutex src then []
+  else begin
+    let findings = ref [] in
+    let type_declaration it decl =
+      (match decl.ptype_kind with
+      | Ptype_record labels ->
+        List.iter
+          (fun ld ->
+            if
+              ld.pld_mutable = Asttypes.Mutable
+              && (not (is_atomic ld.pld_type))
+              && not (A.annotated_unguarded src ld.pld_loc)
+            then
+              findings :=
+                F.error "field-unguarded"
+                  (A.where_of_loc src ld.pld_loc)
+                  (Printf.sprintf
+                     "mutable field %s in concurrent code: make it \
+                      Atomic.t, guard it with a module mutex, or annotate \
+                      the line with (* lint: unguarded — reason *)"
+                     ld.pld_name.Asttypes.txt)
+                :: !findings)
+          labels
+      | _ -> ());
+      Ast_iterator.default_iterator.type_declaration it decl
+    in
+    let iter = { Ast_iterator.default_iterator with type_declaration } in
+    iter.Ast_iterator.structure iter src.A.structure;
+    List.rev !findings
+  end

@@ -1,0 +1,66 @@
+(* Handler-safety rule.
+
+   handler-unsafe    a [Sys.Signal_handle] function or an [at_exit]
+                     callback that calls anything other than [Atomic]
+                     operations.  Signal handlers run at arbitrary
+                     points (possibly while a lock is held or a buffer
+                     is half-written); the only safe action is flipping
+                     an atomic flag for the main loop to notice.
+                     [at_exit] runs during teardown when other domains
+                     may still hold locks, so the same restriction
+                     applies. *)
+
+open Parsetree
+module F = Facile_check.Finding
+module A = Lint_ast
+
+let first_segment lid =
+  match A.flatten lid with x :: _ -> x | [] -> ""
+
+(* Inside a handler body, applications must resolve into the Atomic
+   module.  Bare identifier reads, field accesses, constants and
+   constructors are fine — they cannot block or take locks. *)
+let check_handler_body src kind body findings =
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _) ->
+      if first_segment txt <> "Atomic" then
+        findings :=
+          F.error "handler-unsafe" (A.where_of_loc src loc)
+            (Printf.sprintf
+               "%s calls %s: handlers may only touch Atomic flags (locks, \
+                I/O, and allocation-heavy work are unsafe here)"
+               kind (A.full_path txt))
+          :: !findings
+    | Pexp_apply (_, _) ->
+      findings :=
+        F.error "handler-unsafe" (A.where_of_loc src e.pexp_loc)
+          (Printf.sprintf
+             "%s applies a computed function: handlers may only touch \
+              Atomic flags"
+             kind)
+        :: !findings
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.Ast_iterator.expr iter body
+
+let check src =
+  let findings = ref [] in
+  let expr it e =
+    (match e.pexp_desc with
+    | Pexp_construct ({ txt; _ }, Some handler)
+      when A.last_segment txt = "Signal_handle" ->
+      check_handler_body src "signal handler" handler findings
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt; _ }; _ },
+          [ (Asttypes.Nolabel, callback) ] )
+      when A.last_segment txt = "at_exit" ->
+      check_handler_body src "at_exit callback" callback findings
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let iter = { Ast_iterator.default_iterator with expr } in
+  iter.Ast_iterator.structure iter src.A.structure;
+  List.rev !findings

@@ -1,0 +1,91 @@
+(* Shared front end for the lint rules: read one .ml source, parse it
+   with the compiler's own parser (compiler-libs), and expose the raw
+   line text alongside the AST.  Rules need both views — the parser
+   drops comments, and the [(* lint: unguarded *)] annotation escape
+   hatch lives in comments, so annotation checks scan the raw line of
+   the flagged declaration. *)
+
+type source = {
+  path : string;     (* as given on the command line *)
+  modname : string;  (* lowercase basename without extension *)
+  lines : string array;  (* raw source lines, [lines.(n-1)] = line n *)
+  structure : Parsetree.structure;
+}
+
+exception Parse_failed of { where : string; msg : string }
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let split_lines text = Array.of_list (String.split_on_char '\n' text)
+
+let load path =
+  let text =
+    match read_file path with
+    | t -> t
+    | exception Sys_error msg -> raise (Parse_failed { where = path; msg })
+  in
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  let structure =
+    try Parse.implementation lexbuf with
+    | e ->
+      let where =
+        Printf.sprintf "%s:%d" path lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+      in
+      raise (Parse_failed { where; msg = Printexc.to_string e })
+  in
+  { path;
+    modname =
+      String.lowercase_ascii
+        (Filename.remove_extension (Filename.basename path));
+    lines = split_lines text;
+    structure }
+
+(* ----- identifier paths ----- *)
+
+let flatten lid = try Longident.flatten lid with Misc.Fatal_error -> []
+
+let full_path lid = String.concat "." (flatten lid)
+
+(* The last two path segments — "Stdlib.Unix.read" and "Unix.read"
+   both become "Unix.read", which is how the rule tables name calls. *)
+let last2 lid =
+  match List.rev (flatten lid) with
+  | x :: y :: _ -> y ^ "." ^ x
+  | [ x ] -> x
+  | [] -> ""
+
+let last_segment lid =
+  match List.rev (flatten lid) with x :: _ -> x | [] -> ""
+
+(* ----- locations and annotations ----- *)
+
+let line_of_loc (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
+
+let where_of_loc src loc = Printf.sprintf "%s:%d" src.path (line_of_loc loc)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* True when any raw source line spanned by [loc] carries the given
+   comment annotation.  Annotations are the rules' explicit,
+   grep-able escape hatch; each must state a reason. *)
+let annotated src tag (loc : Location.t) =
+  let first = loc.loc_start.Lexing.pos_lnum in
+  let last = max first loc.loc_end.Lexing.pos_lnum in
+  let ok = ref false in
+  for n = first to last do
+    if n >= 1 && n <= Array.length src.lines then
+      if contains src.lines.(n - 1) tag then ok := true
+  done;
+  !ok
+
+let annotated_unguarded src loc = annotated src "lint: unguarded" loc
+
+(* [lint: raw-ok] allowlists a raw Mutex/Condition primitive on that
+   line — reserved for code whose very subject is the primitive, like
+   the lint self-tests proving a lock is re-acquirable after a raise. *)
+let annotated_raw_ok src loc = annotated src "lint: raw-ok" loc

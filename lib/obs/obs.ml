@@ -74,35 +74,32 @@ end
 
 (* ----- global registry ----- *)
 
-(* Lookups take a mutex; hot call sites should resolve their histogram
-   once at module initialization and use [timed]/[Histogram.record]
-   directly, which touch only atomics. *)
+(* Lock-free registry: a CAS-published assoc list per metric kind.
+   This library sits below Facile_core in the dependency order, so it
+   cannot use Sync.with_lock — and it should not need to: registries
+   are tiny (tens of entries, touched at module init), and a
+   compare-and-set retry loop gives the same "first registration wins"
+   semantics with no lock to leak.  Hot call sites still resolve their
+   histogram once at module initialization and use
+   [timed]/[Histogram.record] directly, which touch only atomics. *)
 
-let mu = Mutex.create ()
-let spans : (string, Histogram.t) Hashtbl.t = Hashtbl.create 32
-let counters : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
+let spans : (string * Histogram.t) list Atomic.t = Atomic.make []
+let counters : (string * int Atomic.t) list Atomic.t = Atomic.make []
 
-let locked f =
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+(* Register-or-find under CAS.  A lost race re-reads the list, so a
+   name resolves to exactly one cell for every caller; a losing
+   freshly-allocated cell is dropped before anyone records into it. *)
+let rec registered reg create name =
+  let cur = Atomic.get reg in
+  match List.assoc_opt name cur with
+  | Some v -> v
+  | None ->
+    let v = create () in
+    if Atomic.compare_and_set reg cur ((name, v) :: cur) then v
+    else registered reg create name
 
-let histogram name =
-  locked (fun () ->
-      match Hashtbl.find_opt spans name with
-      | Some h -> h
-      | None ->
-        let h = Histogram.create () in
-        Hashtbl.add spans name h;
-        h)
-
-let counter name =
-  locked (fun () ->
-      match Hashtbl.find_opt counters name with
-      | Some c -> c
-      | None ->
-        let c = Atomic.make 0 in
-        Hashtbl.add counters name c;
-        c)
+let histogram name = registered spans Histogram.create name
+let counter name = registered counters (fun () -> Atomic.make 0) name
 
 let incr ?(by = 1) name = ignore (Atomic.fetch_and_add (counter name) by)
 let decr ?(by = 1) name = ignore (Atomic.fetch_and_add (counter name) (-by))
@@ -123,28 +120,25 @@ let timed h f =
 let with_span name f = timed (histogram name) f
 let record_ns name ns = Histogram.record (histogram name) ns
 
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+let sorted_bindings reg =
+  List.sort (fun (a, _) (b, _) -> compare a b) (Atomic.get reg)
 
 let snapshot () =
-  locked (fun () ->
+  Json.Obj
+    [ "counters",
       Json.Obj
-        [ "counters",
-          Json.Obj
-            (List.map
-               (fun (k, c) -> (k, Json.Int (Atomic.get c)))
-               (sorted_bindings counters));
-          "spans",
-          Json.Obj
-            (List.map
-               (fun (k, h) -> (k, Histogram.to_json h))
-               (sorted_bindings spans)) ])
+        (List.map
+           (fun (k, c) -> (k, Json.Int (Atomic.get c)))
+           (sorted_bindings counters));
+      "spans",
+      Json.Obj
+        (List.map
+           (fun (k, h) -> (k, Histogram.to_json h))
+           (sorted_bindings spans)) ]
 
 (* Zero every metric in place.  Entries stay registered: call sites
-   cache [Histogram.t] values at module init, and clearing the tables
+   cache [Histogram.t] values at module init, and clearing the lists
    would silently detach those from future snapshots. *)
 let reset () =
-  locked (fun () ->
-      Hashtbl.iter (fun _ h -> Histogram.reset h) spans;
-      Hashtbl.iter (fun _ c -> Atomic.set c 0) counters)
+  List.iter (fun (_, h) -> Histogram.reset h) (Atomic.get spans);
+  List.iter (fun (_, c) -> Atomic.set c 0) (Atomic.get counters)

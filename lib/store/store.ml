@@ -169,7 +169,7 @@ type writer = {
   fd : Unix.file_descr;
   wpath : string;
   seen : (Facile_engine.Engine.memo_key, unit) Hashtbl.t;
-  mutable closed : bool;
+  mutable closed : bool; (* lint: unguarded — writer is single-owner; Serve serializes flushes *)
 }
 
 let path w = w.wpath

@@ -17,6 +17,7 @@ type kind =
   | Store_skew    (* a persistent prediction store was written by an
                      incompatible format version or against different
                      instruction tables/configs than this build's *)
+  | Lint_failed   (* facile lint found error-severity findings *)
 
 type t = { kind : kind; msg : string; pos : int option }
 
@@ -31,7 +32,7 @@ let raise_err ?pos kind msg = raise (Error (v ?pos kind msg))
 
 let all_kinds =
   [ Bad_hex; Parse_error; Unknown_arch; Unknown_mode; Encode_error;
-    Too_large; Timeout; Check_failed; Internal; Store_skew ]
+    Too_large; Timeout; Check_failed; Internal; Store_skew; Lint_failed ]
 
 (* stable snake_case names: these are wire protocol, not display text *)
 let kind_name = function
@@ -45,6 +46,7 @@ let kind_name = function
   | Check_failed -> "check_failed"
   | Internal -> "internal"
   | Store_skew -> "store_skew"
+  | Lint_failed -> "lint_failed"
 
 let kind_of_name s =
   List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -62,6 +64,7 @@ let exit_code = function
   | Check_failed -> 10
   | Internal -> 11
   | Store_skew -> 12
+  | Lint_failed -> 13
 
 let to_string e =
   match e.pos with

@@ -12,6 +12,7 @@
    Usage: chaos.exe path/to/facile.exe   (wired to `dune build @chaos`) *)
 
 module Json = Facile_obs.Json
+module Sync = Facile_core.Sync
 
 let bin = Sys.argv.(1)
 
@@ -485,16 +486,13 @@ let spawn_tcp ?(env = []) args =
                         int_of_string
                           (String.sub hp (i + 1) (String.length hp - i - 1))
                       in
-                      Mutex.lock pmu;
-                      port := Some p;
-                      Mutex.unlock pmu
+                      Sync.with_lock pmu (fun () -> port := Some p)
                     | None -> ())
                  | _ -> ())
               | Error _ -> ());
-             Mutex.lock emu;
-             Buffer.add_string errbuf l;
-             Buffer.add_char errbuf '\n';
-             Mutex.unlock emu
+             Sync.with_lock emu (fun () ->
+                 Buffer.add_string errbuf l;
+                 Buffer.add_char errbuf '\n')
            done
          with End_of_file -> ());
         close_in ic)
@@ -502,9 +500,7 @@ let spawn_tcp ?(env = []) args =
   in
   let rec wait_port n =
     if n = 0 then failwith "TCP server never announced its port";
-    Mutex.lock pmu;
-    let p = !port in
-    Mutex.unlock pmu;
+    let p = Sync.with_lock pmu (fun () -> !port) in
     match p with
     | Some p -> p
     | None ->
@@ -525,9 +521,7 @@ let stop_tcp s =
     | Unix.WSIGNALED n -> 128 + n
     | Unix.WSTOPPED n -> 256 + n
   in
-  Mutex.lock s.emu;
-  let err = Buffer.contents s.errbuf in
-  Mutex.unlock s.emu;
+  let err = Sync.with_lock s.emu (fun () -> Buffer.contents s.errbuf) in
   let final_stats =
     String.split_on_char '\n' err
     |> List.find_map (fun l ->

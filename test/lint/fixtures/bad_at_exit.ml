@@ -1,0 +1,5 @@
+(* Mutation fixture for the handlers family: an at_exit callback that
+   does I/O.  at_exit runs during teardown while other domains may
+   still hold locks.  Expected finding: handler-unsafe. *)
+
+let register () = at_exit (fun () -> print_endline "bye")

@@ -1,0 +1,8 @@
+(* Mutation fixture for the blocking family: socket I/O performed while
+   a lock is held — every other user of [mu] stalls behind a slow peer.
+   Expected finding: lock-blocking. *)
+
+let mu = Mutex.create ()
+
+let read_under_lock fd buf =
+  Sync.with_lock mu (fun () -> Unix.read fd buf 0 (Bytes.length buf))

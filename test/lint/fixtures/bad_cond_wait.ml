@@ -1,0 +1,14 @@
+(* Mutation fixture for the lock family: a hand-rolled Condition.wait
+   loop inside a with_lock section.  The wait idiom belongs to
+   Sync.with_lock_cond, which owns the lock/predicate loop.
+   Expected finding: lock-raw-wait. *)
+
+let mu = Mutex.create ()
+let cond = Condition.create ()
+let ready = ref false
+
+let wait_ready () =
+  Sync.with_lock mu (fun () ->
+      while not !ready do
+        Condition.wait cond mu
+      done)

@@ -1,0 +1,9 @@
+(* Mutation fixture for the order family: two code paths that acquire
+   the same pair of locks in opposite orders — the classic AB/BA
+   deadlock.  Expected finding: lock-order-cycle. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let path_one f = Sync.with_lock a (fun () -> Sync.with_lock b f)
+let path_two f = Sync.with_lock b (fun () -> Sync.with_lock a f)

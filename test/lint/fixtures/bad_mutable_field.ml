@@ -1,0 +1,13 @@
+(* Mutation fixture for the fields family: a worker thread mutates a
+   plain record field with no Atomic, no mutex anywhere in the module,
+   and no annotation — a data race under domains, and at best a torn
+   read under threads.  Expected finding: field-unguarded. *)
+
+type state = {
+  mutable count : int;
+  name : string;
+}
+
+let spin s =
+  ignore (Thread.create (fun () -> s.count <- s.count + 1) ());
+  s.name

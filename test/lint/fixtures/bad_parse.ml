@@ -1,0 +1,5 @@
+(* Mutation fixture for the driver: a file that does not parse must
+   surface as a lint-parse error, not crash the sweep or silently
+   vanish from coverage.  Expected finding: lint-parse. *)
+
+let incr_counter ( = let in

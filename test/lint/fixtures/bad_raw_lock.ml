@@ -1,0 +1,12 @@
+(* Mutation fixture for the lock family: a raw Mutex.lock/Mutex.unlock
+   pair.  If [incr counter] ever raises (or the section grows a raising
+   call), the unlock is skipped and every later caller deadlocks.
+   Expected finding: lock-raw-mutex. *)
+
+let mu = Mutex.create ()
+let counter = ref 0
+
+let incr_counter () =
+  Mutex.lock mu;
+  incr counter;
+  Mutex.unlock mu

@@ -1,0 +1,8 @@
+(* Mutation fixture for the lock family: re-acquiring a lock that is
+   already held.  OCaml mutexes are not reentrant, so this path
+   deadlocks (or is undefined) the moment it runs.
+   Expected finding: lock-self-relock. *)
+
+let mu = Mutex.create ()
+
+let outer f = Sync.with_lock mu (fun () -> Sync.with_lock mu f)

@@ -1,0 +1,9 @@
+(* Mutation fixture for the handlers family: a signal handler that does
+   I/O.  Signals arrive at arbitrary points — possibly while a lock is
+   held or a buffer is half-written — so anything beyond flipping an
+   Atomic flag can deadlock or corrupt state.
+   Expected finding: handler-unsafe. *)
+
+let install () =
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> print_endline "terminating"))

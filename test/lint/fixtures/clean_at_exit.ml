@@ -1,0 +1,6 @@
+(* Clean twin of bad_at_exit.ml: teardown is signalled through an
+   Atomic flag only.  Expected: no findings. *)
+
+let finished = Atomic.make false
+
+let register () = at_exit (fun () -> Atomic.set finished true)

@@ -1,0 +1,11 @@
+(* Clean twin of bad_blocking.ml: the blocking read happens outside the
+   critical section; only the bookkeeping is locked.  Expected: no
+   findings. *)
+
+let mu = Mutex.create ()
+let bytes_seen = ref 0
+
+let read_then_count fd buf =
+  let n = Unix.read fd buf 0 (Bytes.length buf) in
+  Sync.with_lock mu (fun () -> bytes_seen := !bytes_seen + n);
+  n

@@ -1,0 +1,9 @@
+(* Clean twin of bad_cond_wait.ml: the sanctioned wait combinator.
+   Expected: no findings. *)
+
+let mu = Mutex.create ()
+let cond = Condition.create ()
+let ready = ref false
+
+let wait_ready () =
+  Sync.with_lock_cond mu cond ~until:(fun () -> !ready) (fun () -> ())

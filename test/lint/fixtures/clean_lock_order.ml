@@ -1,0 +1,9 @@
+(* Clean twin of bad_lock_order.ml: both nesting paths agree on the
+   a-before-b order, so the acquisition graph is acyclic.  Expected:
+   no findings. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let path_one f = Sync.with_lock a (fun () -> Sync.with_lock b f)
+let path_two f = Sync.with_lock a (fun () -> Sync.with_lock b f)

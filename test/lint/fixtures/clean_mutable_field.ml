@@ -1,0 +1,12 @@
+(* Clean twin of bad_mutable_field.ml: the same shape with the
+   ownership documented on the declaration line.  Expected: no
+   findings. *)
+
+type state = {
+  mutable count : int; (* lint: unguarded — single worker thread owns this *)
+  name : string;
+}
+
+let spin s =
+  ignore (Thread.create (fun () -> s.count <- s.count + 1) ());
+  s.name

@@ -1,0 +1,7 @@
+(* Clean twin of bad_raw_lock.ml: the same critical section through
+   Sync.with_lock, which releases on every exit path.  Expected: no
+   findings. *)
+
+let mu = Mutex.create ()
+let counter = ref 0
+let incr_counter () = Sync.with_lock mu (fun () -> incr counter)

@@ -1,0 +1,8 @@
+(* Clean twin of bad_signal_handler.ml: the handler only flips an
+   Atomic flag for the main loop to notice.  Expected: no findings. *)
+
+let stop = Atomic.make false
+
+let install () =
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Atomic.set stop true))

@@ -4,6 +4,7 @@
 
 open Facile_engine
 module Json = Facile_obs.Json
+module Sync = Facile_core.Sync
 
 (* a test that writes into sockets the peer may have closed must not
    die of SIGPIPE *)
@@ -396,19 +397,17 @@ let start_tcp serve cfg =
       (fun () ->
         Net.run ~signals:false
           ~announce:(fun ~host ~port ->
-            Mutex.lock mu;
-            addr := Some (host, port);
-            Condition.signal cond;
-            Mutex.unlock mu)
+            Sync.with_lock mu (fun () ->
+                addr := Some (host, port);
+                Condition.signal cond))
           serve cfg)
       ()
   in
-  Mutex.lock mu;
-  while !addr = None do
-    Condition.wait cond mu
-  done;
-  let host, port = Option.get !addr in
-  Mutex.unlock mu;
+  let host, port =
+    Sync.with_lock_cond mu cond
+      ~until:(fun () -> !addr <> None)
+      (fun () -> Option.get !addr)
+  in
   (th, host, port)
 
 let connect host port =

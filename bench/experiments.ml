@@ -898,3 +898,177 @@ let perf () =
     | [] -> Printf.printf "perf gate passed against %s\n" baseline_path
     | fs -> raise (Perf_regression (String.concat "; " fs))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Worker-scaling bench: contention behavior of the serving cache      *)
+
+exception Scale_regression of string
+
+(* N driver domains hammer [Engine.predict] on one shared pool
+   (workers = 1, so all parallelism is the drivers' — exactly the
+   shape of N TCP sessions sharing a service).  Hit-heavy: a prewarmed
+   corpus, so every request is pure cache traffic and measures shard
+   lock contention.  Miss-heavy: disjoint cold keys per driver, so
+   every request runs the model and the cache only absorbs inserts.
+   Fastest-of-[reps] wall time per driver count -> req/s, plus a
+   regression gate requiring hit-heavy throughput to at least double
+   from 1 to 4 drivers on machines with the cores to show it. *)
+let scale () =
+  let module Json = Facile_obs.Json in
+  let cfg = Config.by_arch Config.SKL in
+  let reps = 5 in
+  let driver_counts = [ 1; 2; 4; 8 ] in
+  let hit_iters = 50_000 in
+  let blocks_of ~seed ~size =
+    Array.of_list
+      (List.map
+         (fun (c : Suite.case) -> Block.of_instructions cfg c.Suite.loop)
+         (Suite.corpus ~seed ~size ()))
+  in
+  let hit_blocks = blocks_of ~seed:eval_seed ~size:256 in
+  let miss_blocks = blocks_of ~seed:train_seed ~size:4096 in
+  (* run [body 0..drivers-1] concurrently, return wall seconds *)
+  let drive drivers body =
+    let t0 = Unix.gettimeofday () in
+    let rest =
+      List.init (drivers - 1) (fun i -> Domain.spawn (fun () -> body (i + 1)))
+    in
+    body 0;
+    List.iter Domain.join rest;
+    Unix.gettimeofday () -. t0
+  in
+  let fastest f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let dt = f () in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let hit_rps drivers =
+    Engine.with_pool ~workers:1 (fun pool ->
+        Array.iter
+          (fun b -> ignore (Engine.predict pool ~mode:`Auto b))
+          hit_blocks;
+        let n = Array.length hit_blocks in
+        let best =
+          fastest (fun () ->
+              drive drivers (fun idx ->
+                  (* per-driver stride so drivers do not touch the same
+                     shard in lockstep *)
+                  let off = idx * 7919 in
+                  for i = 0 to hit_iters - 1 do
+                    ignore
+                      (Engine.predict pool ~mode:`Auto
+                         hit_blocks.((off + i) mod n))
+                  done))
+        in
+        float_of_int (drivers * hit_iters) /. Float.max best 1e-9)
+  in
+  let miss_rps drivers =
+    let per = Array.length miss_blocks / drivers in
+    let best =
+      (* fresh pool per rep: every key cold again *)
+      fastest (fun () ->
+          Engine.with_pool ~workers:1 (fun pool ->
+              drive drivers (fun idx ->
+                  for i = idx * per to ((idx + 1) * per) - 1 do
+                    ignore (Engine.predict pool ~mode:`Auto miss_blocks.(i))
+                  done)))
+    in
+    float_of_int (per * drivers) /. Float.max best 1e-9
+  in
+  (* shard-count insensitivity: the sharded cache must not change a
+     single bit of any prediction vs the single-shard configuration *)
+  let sample = Array.to_list (Array.sub miss_blocks 0 256) in
+  let with_shards cache_shards =
+    Engine.with_pool ~workers:1 ~cache_shards (fun pool ->
+        Engine.predict_batch pool ~mode:`Auto sample)
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Model.prediction) (b : Model.prediction) ->
+        Float.equal a.Model.cycles b.Model.cycles
+        && List.for_all2
+             (fun (c1, v1) (c2, v2) -> c1 = c2 && Float.equal v1 v2)
+             a.Model.values b.Model.values)
+      (with_shards 1) (with_shards 16)
+  in
+  if not identical then
+    raise (Scale_regression "predictions diverge across shard counts");
+  let rows = List.map (fun d -> (d, hit_rps d, miss_rps d)) driver_counts in
+  let hit1 =
+    match rows with (_, h, _) :: _ -> h | [] -> assert false
+  in
+  let cores = Domain.recommended_domain_count () in
+  Report.Table.print
+    ~title:
+      (Printf.sprintf
+         "Serving-cache scaling: req/s by driver domains (fastest of %d, %d \
+          core(s))"
+         reps cores)
+    ~header:[ "drivers"; "hit-heavy req/s"; "miss-heavy req/s"; "hit speedup" ]
+    (List.map
+       (fun (d, hit, miss) ->
+         [ string_of_int d; Printf.sprintf "%.0f" hit;
+           Printf.sprintf "%.0f" miss;
+           Printf.sprintf "%.2fx" (hit /. Float.max hit1 1e-9) ])
+       rows);
+  let speedup4 =
+    match List.find_opt (fun (d, _, _) -> d = 4) rows with
+    | Some (_, h4, _) -> h4 /. Float.max hit1 1e-9
+    | None -> 0.0
+  in
+  Printf.printf
+    "scale parallel efficiency: 1->4 drivers %.2fx (%.0f%% of linear)\n"
+    speedup4
+    (speedup4 /. 4.0 *. 100.0);
+  bench_record "scale"
+    [ "cores", Json.Int cores;
+      "reps", Json.Int reps;
+      "hit_iters_per_driver", Json.Int hit_iters;
+      "hit_corpus", Json.Int (Array.length hit_blocks);
+      "miss_corpus", Json.Int (Array.length miss_blocks);
+      "identical_across_shards", Json.Bool identical;
+      "speedup_1_to_4_hit", Json.Float speedup4;
+      ( "rows",
+        Json.Arr
+          (List.map
+             (fun (d, hit, miss) ->
+               Json.Obj
+                 [ "drivers", Json.Int d;
+                   "hit_rps", Json.Float hit;
+                   "miss_rps", Json.Float miss ])
+             rows) ) ];
+  (* Regression gate: 4 concurrent drivers must at least double the
+     1-driver hit-heavy throughput.  Meaningless without the cores to
+     run 4 drivers in parallel, so it self-disables there (the CI
+     bench-scale job runs on 4-vCPU runners).  FACILE_SCALE_GATE=0/1
+     forces it off/on; FACILE_SCALE_MIN overrides the 2.0 factor. *)
+  let gate_on =
+    match Sys.getenv_opt "FACILE_SCALE_GATE" with
+    | Some "0" -> false
+    | Some "1" -> true
+    | _ -> cores >= 4
+  in
+  let min_factor =
+    match
+      Option.bind (Sys.getenv_opt "FACILE_SCALE_MIN") float_of_string_opt
+    with
+    | Some f -> f
+    | None -> 2.0
+  in
+  if not gate_on then
+    Printf.printf
+      "scale gate skipped: %d core(s) available, need 4 (FACILE_SCALE_GATE=1 \
+       forces)\n"
+      cores
+  else if speedup4 < min_factor then
+    raise
+      (Scale_regression
+         (Printf.sprintf
+            "hit-heavy throughput scaled %.2fx from 1 to 4 drivers, required \
+             %.2fx"
+            speedup4 min_factor))
+  else
+    Printf.printf "scale gate passed: %.2fx >= %.2fx\n" speedup4 min_factor

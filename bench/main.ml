@@ -18,7 +18,8 @@ let experiments =
     "perf", Experiments.perf;
     "ablations", Experiments.ablations;
     "region", Experiments.region;
-    "notion", Experiments.notion ]
+    "notion", Experiments.notion;
+    "scale", Experiments.scale ]
 
 let () =
   let requested =

@@ -190,6 +190,15 @@ let cache_cap_arg =
        & opt int Facile_engine.Engine.default_cache_cap
        & info [ "cache-cap" ] ~docv:"N" ~doc)
 
+let cache_shards_arg =
+  let doc =
+    "Memoization cache shard count (default: 4x the worker count; \
+     rounded up to a power of two and clamped so every shard keeps a \
+     useful capacity). More shards reduce lock contention between \
+     concurrent requests; 1 forces the single-lock cache."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-shards" ] ~docv:"N" ~doc)
+
 let deadline_opt_arg =
   let doc =
     "Per-request wall-clock deadline in milliseconds; work over budget \
@@ -346,13 +355,15 @@ let store_arg =
   Arg.(value & opt (some string) None & info [ "store" ] ~docv:"PATH" ~doc)
 
 let batch_cmd =
-  let run arch mode workers jobs no_memo cache_cap store quiet json file =
+  let run arch mode workers jobs no_memo cache_cap cache_shards store quiet
+      json file =
     let jobs = merge_workers workers jobs in
     run_command arch (fun cfg ->
         (* flag validation first: a bad flag must fail the same way on
            an empty stdin as on a full corpus *)
         require_opt_at_least ~flag:"--workers" 1 jobs;
         require_at_least ~flag:"--cache-cap" 1 cache_cap;
+        require_opt_at_least ~flag:"--cache-shards" 1 cache_shards;
         if store <> None && no_memo then
           failwith "--store requires memoization (drop --no-memo)";
         let* engine_mode =
@@ -424,7 +435,7 @@ let batch_cmd =
         let blocks = List.map (fun (_, b, _) -> b) cases in
         let pool =
           Facile_engine.Engine.create ?workers:jobs ~memoize:(not no_memo)
-            ~cache_cap ()
+            ~cache_cap ?cache_shards ()
         in
         (* warm restart: replay the store into the memo cache (file
            order is recency order, so the LRU comes back as it was) *)
@@ -533,19 +544,21 @@ let batch_cmd =
           line, optionally ',<measured cycles>' for aggregate error \
           metrics).")
     Term.(const run $ arch_arg $ mode_arg $ workers_arg $ jobs_alias_arg
-          $ no_memo_arg $ cache_cap_arg $ store_arg $ quiet_arg $ json_arg
-          $ file_arg)
+          $ no_memo_arg $ cache_cap_arg $ cache_shards_arg $ store_arg
+          $ quiet_arg $ json_arg $ file_arg)
 
 (* ----- serve: long-running NDJSON prediction service ----- *)
 
 let serve_cmd =
   let run workers jobs no_memo deadline_ms no_deadline queue_cap cache_cap
-      store store_flush max_input_bytes max_insts tcp max_conns conn_rate =
+      cache_shards store store_flush max_input_bytes max_insts tcp max_conns
+      conn_rate =
     let workers = merge_workers workers jobs in
     require_opt_at_least ~flag:"--workers" 1 workers;
     require_at_least ~flag:"--deadline-ms" 0 deadline_ms;
     require_at_least ~flag:"--queue" 1 queue_cap;
     require_at_least ~flag:"--cache-cap" 1 cache_cap;
+    require_opt_at_least ~flag:"--cache-shards" 1 cache_shards;
     require_opt_at_least ~flag:"--store-flush" 1 store_flush;
     require_at_least ~flag:"--max-input-bytes" 1 max_input_bytes;
     require_at_least ~flag:"--max-insts" 1 max_insts;
@@ -585,6 +598,7 @@ let serve_cmd =
           Facile_engine.Serve.workers;
           memoize = not no_memo;
           cache_cap = Some cache_cap;
+          cache_shards;
           deadline_ms = (if no_deadline then None else Some deadline_ms);
           queue_cap;
           flush_every = store_flush;
@@ -617,6 +631,8 @@ let serve_cmd =
                 [ "workers", Json.Int (Facile_engine.Engine.size engine);
                   "memoize", Json.Bool (not no_memo);
                   "cache_cap", Json.Int cache_cap;
+                  "cache_shards",
+                  Json.Int (Facile_engine.Engine.cache_shard_count engine);
                   "deadline_ms",
                   (if no_deadline then Json.Null else Json.Int deadline_ms);
                   "queue", Json.Int queue_cap;
@@ -792,8 +808,8 @@ let serve_cmd =
        ~doc:
          "Serve predictions over a fault-tolerant NDJSON loop (stdio \
           or multi-client TCP).")
-    Term.(const (fun w j nm dl nodl q cc st sf mib mi tcp mc cr ->
-             match run w j nm dl nodl q cc st sf mib mi tcp mc cr with
+    Term.(const (fun w j nm dl nodl q cc cs st sf mib mi tcp mc cr ->
+             match run w j nm dl nodl q cc cs st sf mib mi tcp mc cr with
              | code -> code
              | exception Failure m ->
                prerr_endline ("error: " ^ m); 1
@@ -801,9 +817,9 @@ let serve_cmd =
                prerr_endline ("error: " ^ Err.to_string e);
                Err.exit_code e.Err.kind)
           $ workers_arg $ jobs_alias_arg $ no_memo_arg $ deadline_arg
-          $ no_deadline_arg $ queue_arg $ cache_cap_arg $ store_arg
-          $ store_flush_arg $ serve_max_input_arg $ max_insts_arg $ tcp_arg
-          $ max_conns_arg $ conn_rate_arg)
+          $ no_deadline_arg $ queue_arg $ cache_cap_arg $ cache_shards_arg
+          $ store_arg $ store_flush_arg $ serve_max_input_arg $ max_insts_arg
+          $ tcp_arg $ max_conns_arg $ conn_rate_arg)
 
 (* ----- simulate ----- *)
 

@@ -12,6 +12,11 @@ module Sync = Facile_core.Sync
 (* chunks without further coordination and each index is claimed by    *)
 (* exactly one domain.                                                 *)
 
+(* The memoization key: keyed on the block's form signature (cheap int
+   hash of its dense form ids) before the bytes, so most lookups
+   reject on an int compare instead of a string compare. *)
+type memo_key = Config.arch * [ `Loop | `Unrolled ] * int * string
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -22,19 +27,12 @@ type t = {
   mutable active : int; (* workers still inside the current batch *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
-  (* memoization of predict/predict_batch: bounded LRU so a serving
-     process under endless distinct traffic cannot grow without limit *)
+  (* memoization of predict/predict_batch: a sharded bounded LRU
+     (lock per shard, single-flight misses) so a serving process under
+     endless distinct traffic cannot grow without limit and concurrent
+     requests do not serialize on one cache lock *)
   memoize : bool;
-  (* keyed on the block's form signature (cheap int hash of its dense
-     form ids) before the bytes, so most lookups reject on an int
-     compare instead of a string compare *)
-  memo :
-    ( Config.arch * [ `Loop | `Unrolled ] * int * string,
-      Model.prediction )
-    Lru.t;
-  memo_mutex : Mutex.t;
-  mutable hits : int;
-  mutable misses : int;
+  memo : (memo_key, Model.prediction) Shard_cache.t;
 }
 
 let rec worker_loop pool seen_epoch =
@@ -57,7 +55,15 @@ let rec worker_loop pool seen_epoch =
 
 let default_cache_cap = 65536
 
-let create ?workers ?(memoize = true) ?(cache_cap = default_cache_cap) () =
+(* Shard selection must mix every key component: form signatures are
+   already FNV-mixed, the arch and notion are small enums folded in so
+   the same bytes on two arches spread over different shards. *)
+let memo_hash ((arch, notion, sig_, _bytes) : memo_key) =
+  let h = sig_ lxor (Hashtbl.hash arch * 0x9e3779b1) in
+  h lxor (match notion with `Loop -> 0x5bd1e995 | `Unrolled -> 0)
+
+let create ?workers ?(memoize = true) ?(cache_cap = default_cache_cap)
+    ?cache_shards () =
   let size =
     match workers with
     | None -> max 1 (Domain.recommended_domain_count ())
@@ -66,17 +72,28 @@ let create ?workers ?(memoize = true) ?(cache_cap = default_cache_cap) () =
   in
   if cache_cap < 1 then
     invalid_arg (Printf.sprintf "Engine.create: cache_cap = %d" cache_cap);
+  let shards =
+    match cache_shards with
+    | None ->
+      (* enough shards that even an unlucky hash spread keeps the
+         expected contention per lock well below one domain *)
+      size * 4
+    | Some n when n >= 1 -> n
+    | Some n ->
+      invalid_arg (Printf.sprintf "Engine.create: cache_shards = %d" n)
+  in
   let pool =
     { size; mutex = Mutex.create (); have_work = Condition.create ();
       quiesced = Condition.create (); batch = None; epoch = 0; active = 0;
-      stop = false; domains = []; memoize; memo = Lru.create cache_cap;
-      memo_mutex = Mutex.create (); hits = 0; misses = 0 }
+      stop = false; domains = []; memoize;
+      memo = Shard_cache.create ~shards ~cap:cache_cap ~hash:memo_hash () }
   in
   pool.domains <-
     List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool 0));
   pool
 
 let size pool = pool.size
+let cache_shard_count pool = Shard_cache.shard_count pool.memo
 
 let shutdown pool =
   Sync.with_lock pool.mutex (fun () ->
@@ -85,8 +102,8 @@ let shutdown pool =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-let with_pool ?workers ?memoize f =
-  let pool = create ?workers ?memoize () in
+let with_pool ?workers ?memoize ?cache_shards f =
+  let pool = create ?workers ?memoize ?cache_shards () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* Run one batch closure on every domain of the pool (caller included)
@@ -114,8 +131,10 @@ let map pool f xs =
     let results = Array.make n None in
     let next = Atomic.make 0 in
     (* small chunks balance load; large ones amortize the atomic — a few
-       chunks per worker is a reasonable middle ground *)
-    let chunk = max 1 (n / (pool.size * 8)) in
+       chunks per worker is a reasonable middle ground, floored at 16
+       indices per steal so tiny batches don't pay one fetch-and-add
+       per element *)
+    let chunk = max 16 (n / (pool.size * 8)) in
     let batch () =
       let rec loop () =
         let start = Atomic.fetch_and_add next chunk in
@@ -158,6 +177,15 @@ let predict_one notion b =
 let batch_span = Facile_obs.Obs.histogram "engine.batch"
 let predict_span = Facile_obs.Obs.histogram "engine.predict"
 
+(* One pass over the sharded cache: a single lock acquisition settles
+   hit / join-flight / own-compute, and duplicates — within a batch or
+   across concurrent requests — coalesce onto one compute. *)
+let memo_predict pool notion b =
+  let key =
+    (b.Block.cfg.Config.arch, notion, Block.form_sig b, b.Block.bytes)
+  in
+  Shard_cache.find_or_compute pool.memo key (fun () -> predict_one notion b)
+
 (* Memoized single-block prediction on the calling domain: the serving
    layer's per-request path, sharing the cross-batch cache (and its
    hit/miss accounting) with [predict_batch]. *)
@@ -168,86 +196,20 @@ let predict pool ~mode b =
   Fault.point "predict";
   let notion = notion_of_block mode b in
   if not pool.memoize then predict_one notion b
-  else begin
-    let key =
-      (b.Block.cfg.Config.arch, notion, Block.form_sig b, b.Block.bytes)
-    in
-    let cached =
-      Sync.with_lock pool.memo_mutex (fun () ->
-          let cached = Lru.find pool.memo key in
-          (match cached with
-          | Some _ -> pool.hits <- pool.hits + 1
-          | None -> ());
-          cached)
-    in
-    match cached with
-    | Some p -> p
-    | None ->
-      let p = predict_one notion b in
-      Sync.with_lock pool.memo_mutex (fun () ->
-          pool.misses <- pool.misses + 1;
-          Lru.add pool.memo key p);
-      p
-  end
+  else memo_predict pool notion b
 
 let predict_batch pool ~mode blocks =
   Facile_obs.Obs.timed batch_span @@ fun () ->
   let blocks = Array.of_list blocks in
-  if not pool.memoize then
-    Array.to_list
-      (map pool (fun b -> predict_one (notion_of_block mode b) b) blocks)
-  else begin
-    let keys =
-      Array.map
-        (fun (b : Block.t) ->
-          ( b.Block.cfg.Config.arch,
-            notion_of_block mode b,
-            Block.form_sig b,
-            b.Block.bytes ))
-        blocks
-    in
-    (* consult the cross-batch cache and pick the first occurrence of
-       each unseen key — all on the calling domain, so the parallel
-       section below touches no shared table *)
-    let cached =
-      Sync.with_lock pool.memo_mutex (fun () ->
-          Array.map (Lru.find pool.memo) keys)
-    in
-    let first = Hashtbl.create 64 in
-    let todo = ref [] in
-    Array.iteri
-      (fun i k ->
-        if cached.(i) = None && not (Hashtbl.mem first k) then begin
-          Hashtbl.add first k i;
-          todo := i :: !todo
-        end)
-      keys;
-    let todo = Array.of_list (List.rev !todo) in
-    let computed =
-      map pool
-        (fun i -> predict_one (notion_of_block mode blocks.(i)) blocks.(i))
-        todo
-    in
-    let fresh = Hashtbl.create (Array.length todo) in
-    Sync.with_lock pool.memo_mutex (fun () ->
-        Array.iteri
-          (fun j i ->
-            Lru.add pool.memo keys.(i) computed.(j);
-            Hashtbl.replace fresh keys.(i) computed.(j))
-          todo;
-        pool.misses <- pool.misses + Array.length todo;
-        pool.hits <- pool.hits + (Array.length blocks - Array.length todo));
-    Array.to_list
-      (Array.mapi
-         (fun i k ->
-           match cached.(i) with
-           | Some p -> p
-           | None -> Hashtbl.find fresh k)
-         keys)
-  end
+  let f =
+    if not pool.memoize then fun b -> predict_one (notion_of_block mode b) b
+    else fun b -> memo_predict pool (notion_of_block mode b) b
+  in
+  Array.to_list (map pool f blocks)
 
 let memo_stats pool =
-  Sync.with_lock pool.memo_mutex (fun () -> (pool.hits, pool.misses))
+  let s = Shard_cache.stats pool.memo in
+  (s.Shard_cache.hits, s.Shard_cache.misses)
 
 (* ------------------------------------------------------------------ *)
 (* Memo persistence: the warm-restart surface of the persistent
@@ -256,29 +218,29 @@ let memo_stats pool =
    loaded records without touching the hit/miss accounting, so stats
    reflect only this process's traffic. *)
 
-type memo_key = Config.arch * [ `Loop | `Unrolled ] * int * string
-
-let memo_entries pool =
-  Sync.with_lock pool.memo_mutex (fun () -> Lru.to_list pool.memo)
+let memo_entries pool = Shard_cache.to_list pool.memo
 
 let memo_seed pool entries =
   if pool.memoize then
-    Sync.with_lock pool.memo_mutex (fun () ->
-        (* entries arrive most-recent first ([memo_entries] order, which
-           the store preserves); insert oldest first so the LRU keeps the
-           same recency and a bounded cache evicts the same cold tail *)
-        List.iter (fun (k, v) -> Lru.add pool.memo k v) (List.rev entries))
+    (* entries arrive most-recent first ([memo_entries] order, which
+       the store preserves); insert oldest first so each shard's LRU
+       keeps the same recency and a bounded cache evicts the same cold
+       tail *)
+    List.iter (fun (k, v) -> Shard_cache.add pool.memo k v) (List.rev entries)
 
 type cache_stats = {
   hits : int;
   misses : int;
+  coalesced : int;
   evictions : int;
   entries : int;
   capacity : int;
+  shards : int;
 }
 
 let cache_stats pool =
-  Sync.with_lock pool.memo_mutex (fun () ->
-      { hits = pool.hits; misses = pool.misses;
-        evictions = Lru.evictions pool.memo; entries = Lru.length pool.memo;
-        capacity = Lru.capacity pool.memo })
+  let s = Shard_cache.stats pool.memo in
+  { hits = s.Shard_cache.hits; misses = s.Shard_cache.misses;
+    coalesced = s.Shard_cache.coalesced; evictions = s.Shard_cache.evictions;
+    entries = s.Shard_cache.entries; capacity = s.Shard_cache.capacity;
+    shards = s.Shard_cache.shards }

@@ -13,44 +13,63 @@
     [(arch, throughput notion, block bytes)]: repeated blocks in a
     corpus — common in BHive-style suites — are predicted once and the
     result is reused, both within a batch and across batches of the
-    same pool. *)
+    same pool.  The cache is sharded ({!Shard_cache}): each key hashes
+    to one of [cache_shards] independently locked bounded LRUs, and
+    concurrent misses on the same key coalesce onto a single compute
+    (single flight), so N domains predicting distinct blocks never
+    serialize on one lock. *)
 
 open Facile_core
 
 type t
 
-(** [create ?workers ?memoize ?cache_cap ()] starts a pool. [workers]
-    defaults to [Domain.recommended_domain_count ()]; with
-    [workers = 1] the pool is purely sequential. [memoize] (default
-    [true]) enables the prediction cache of {!predict_batch} and
-    {!predict}; the cache is a bounded LRU holding at most [cache_cap]
-    entries (default 65536), so cache memory stays flat under endless
-    distinct traffic.
-    @raise Invalid_argument if [workers < 1] or [cache_cap < 1]. *)
-val create : ?workers:int -> ?memoize:bool -> ?cache_cap:int -> unit -> t
+(** [create ?workers ?memoize ?cache_cap ?cache_shards ()] starts a
+    pool. [workers] defaults to [Domain.recommended_domain_count ()];
+    with [workers = 1] the pool is purely sequential. [memoize]
+    (default [true]) enables the prediction cache of {!predict_batch}
+    and {!predict}; the cache holds at most [cache_cap] entries
+    (default 65536) split over [cache_shards] shards (default
+    [workers * 4]; rounded up to a power of two and clamped so every
+    shard keeps a useful capacity — see {!Shard_cache.create}), so
+    cache memory stays flat under endless distinct traffic and cache
+    locking stays off the contended path.
+    @raise Invalid_argument if [workers < 1], [cache_cap < 1], or
+    [cache_shards < 1]. *)
+val create :
+  ?workers:int -> ?memoize:bool -> ?cache_cap:int -> ?cache_shards:int ->
+  unit -> t
 
 val default_cache_cap : int
 
 (** Number of domains doing work for this pool, including the caller. *)
 val size : t -> int
 
+(** Shard count of the memoization cache actually in use (after
+    power-of-two rounding and capacity clamping). *)
+val cache_shard_count : t -> int
+
 (** [shutdown t] joins the worker domains. The pool must not be used
     afterwards. Idempotent. *)
 val shutdown : t -> unit
 
-(** [with_pool ?workers ?memoize f] runs [f] on a fresh pool and
-    shuts it down afterwards, also on exception. *)
-val with_pool : ?workers:int -> ?memoize:bool -> (t -> 'a) -> 'a
+(** [with_pool ?workers ?memoize ?cache_shards f] runs [f] on a fresh
+    pool and shuts it down afterwards, also on exception. *)
+val with_pool :
+  ?workers:int -> ?memoize:bool -> ?cache_shards:int -> (t -> 'a) -> 'a
 
 type cache_stats = {
   hits : int;
   misses : int;
-  evictions : int;  (** entries dropped by the LRU bound *)
-  entries : int;    (** currently cached *)
+  coalesced : int; (** requests that waited on another's compute *)
+  evictions : int; (** entries dropped by the LRU bound *)
+  entries : int;   (** currently cached *)
   capacity : int;
+  shards : int;
 }
 
-(** Full memoization-cache accounting (see also {!memo_stats}). *)
+(** Full memoization-cache accounting (see also {!memo_stats}).
+    Counters are atomic accumulators: each is exact and monotone, but
+    the record is not a simultaneous snapshot across counters. *)
 val cache_stats : t -> cache_stats
 
 (** [map t f xs] — [Array.map f xs], spread over the pool. [f] must be
@@ -71,7 +90,10 @@ type mode = [ `Loop | `Unrolled | `Auto ]
 (** [predict_batch t ~mode blocks] predicts every block, in parallel,
     memoized. The result list is ordered like the input, and is
     bit-identical to a sequential [List.map] of
-    [Model.predict ~notion] for every pool size. *)
+    [Model.predict ~notion] for every pool size and shard count.
+    Duplicate blocks within the batch are predicted once: workers that
+    race on the same key coalesce through the cache's single-flight
+    path instead of probing and re-adding under two lock rounds. *)
 val predict_batch : t -> mode:mode -> Block.t list -> Model.prediction list
 
 (** [predict t ~mode b] — memoized single-block prediction on the
@@ -81,7 +103,8 @@ val predict : t -> mode:mode -> Block.t -> Model.prediction
 
 (** [(hits, misses)] of the memoization layer since [create]. A miss is
     a distinct key actually predicted; a hit is a reuse, whether from a
-    duplicate within one batch or from an earlier batch. *)
+    duplicate within one batch, a coalesced concurrent request, or an
+    earlier batch. *)
 val memo_stats : t -> int * int
 
 (** The memoization key: microarchitecture, resolved throughput
@@ -91,12 +114,14 @@ val memo_stats : t -> int * int
     restarts. *)
 type memo_key = Facile_uarch.Config.arch * [ `Loop | `Unrolled ] * int * string
 
-(** Snapshot of the memo cache, most-recent first. *)
+(** Snapshot of the memo cache in deterministic shard-merge order
+    (shard 0 most-recent first, then shard 1, ...). *)
 val memo_entries : t -> (memo_key * Model.prediction) list
 
 (** [memo_seed t entries] pre-populates the memo cache (warm start)
-    with [entries] in {!memo_entries} order (most-recent first),
-    preserving recency.  Seeded entries do not count as hits or
-    misses; a bounded cache keeps only the most recent [cache_cap]
-    of them.  A no-op on a pool created with [~memoize:false]. *)
+    with [entries] in {!memo_entries} order (most-recent first within
+    each shard), preserving per-shard recency.  Seeded entries do not
+    count as hits or misses; a bounded cache keeps only the most
+    recent entries per shard.  A no-op on a pool created with
+    [~memoize:false]. *)
 val memo_seed : t -> (memo_key * Model.prediction) list -> unit

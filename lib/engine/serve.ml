@@ -62,6 +62,7 @@ type config = {
   workers : int option;
   memoize : bool;
   cache_cap : int option;
+  cache_shards : int option;
   deadline_ms : int option;
   queue_cap : int;
   retry_after_ms : int;
@@ -74,6 +75,7 @@ let default_config =
   { workers = None;
     memoize = true;
     cache_cap = None;
+    cache_shards = None;
     deadline_ms = None;
     queue_cap = 128;
     retry_after_ms = 50;
@@ -101,16 +103,19 @@ type t = {
   queue_cap : int;
   retry_after_ms : int;
   latency : Obs.Histogram.t;  (* per-line handling latency, ns *)
-  mu : Mutex.t;
-  by_arch : (string, int) Hashtbl.t;   (* successful predictions per arch *)
-  by_kind : (string, int) Hashtbl.t;   (* error responses per kind *)
-  mutable total : int;                 (* every line handled, incl. stats *)
-  mutable predicted : int;             (* successful predictions *)
-  mutable stats_served : int;
-  mutable version_served : int;
-  mutable errors : int;
-  mutable shed : int;                  (* lines refused by a full queue *)
-  mutable epipe : int;                 (* writes that found the peer gone *)
+  (* request tallies: atomic accumulators (and lock-free counter maps),
+     bumped from N session threads plus the executor — no stats mutex
+     on the serving path.  Each counter is exact and monotone;
+     [stats_json] reads them one by one, not as one snapshot. *)
+  by_arch : Obs.Cmap.t;                (* successful predictions per arch *)
+  by_kind : Obs.Cmap.t;                (* error responses per kind *)
+  total : int Atomic.t;                (* every line handled, incl. stats *)
+  predicted : int Atomic.t;            (* successful predictions *)
+  stats_served : int Atomic.t;
+  version_served : int Atomic.t;
+  errors : int Atomic.t;
+  shed : int Atomic.t;                 (* lines refused by a full queue *)
+  epipe : int Atomic.t;                (* writes that found the peer gone *)
   conns : conns;
   started_ns : int;
   stop : bool Atomic.t;                (* graceful-shutdown request *)
@@ -142,7 +147,7 @@ let of_config (c : config) =
    | _ -> ());
   { engine =
       Engine.create ?workers:c.workers ~memoize:c.memoize
-        ?cache_cap:c.cache_cap ();
+        ?cache_cap:c.cache_cap ?cache_shards:c.cache_shards ();
     sup = Supervise.create ~config:c.supervisor ();
     limits = c.limits;
     deadline_ns =
@@ -153,16 +158,15 @@ let of_config (c : config) =
     queue_cap = c.queue_cap;
     retry_after_ms = c.retry_after_ms;
     latency = Obs.Histogram.create ();
-    mu = Mutex.create ();
-    by_arch = Hashtbl.create 16;
-    by_kind = Hashtbl.create 16;
-    total = 0;
-    predicted = 0;
-    stats_served = 0;
-    version_served = 0;
-    errors = 0;
-    shed = 0;
-    epipe = 0;
+    by_arch = Obs.Cmap.create ();
+    by_kind = Obs.Cmap.create ();
+    total = Atomic.make 0;
+    predicted = Atomic.make 0;
+    stats_served = Atomic.make 0;
+    version_served = Atomic.make 0;
+    errors = Atomic.make 0;
+    shed = Atomic.make 0;
+    epipe = Atomic.make 0;
     conns =
       { accepted = Atomic.make 0;
         active = Atomic.make 0;
@@ -237,12 +241,6 @@ let conn_opened t =
 let conn_closed t = Atomic.decr t.conns.active
 let conn_rejected t = Atomic.incr t.conns.rejected
 
-let locked t f = Sync.with_lock t.mu f
-
-let bump tbl key =
-  Hashtbl.replace tbl key
-    (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-
 (* ----- responses ----- *)
 
 (* Wire error kinds are the Err.t taxonomy plus four serving-layer
@@ -251,9 +249,8 @@ let bump tbl key =
    (the per-connection admission bucket is empty), and "internal"
    (the supervised executor crashed — a bug or an injected fault). *)
 let error_response t ~id ~kind ?pos ?(extra = []) msg =
-  locked t (fun () ->
-      t.errors <- t.errors + 1;
-      bump t.by_kind kind);
+  Atomic.incr t.errors;
+  Obs.Cmap.bump t.by_kind kind;
   Json.Obj
     [ "id", id;
       "error",
@@ -267,7 +264,7 @@ let err_response t ~id (e : Err.t) =
     e.Err.msg
 
 let shed_response t ~id =
-  locked t (fun () -> t.shed <- t.shed + 1);
+  Atomic.incr t.shed;
   error_response t ~id ~kind:"retry_after"
     ~extra:[ "retry_after_ms", Json.Int t.retry_after_ms ]
     (Printf.sprintf "request queue full (capacity %d)" t.queue_cap)
@@ -300,38 +297,43 @@ let stats_json t =
     else float_of_int c.Engine.hits /. float_of_int lookups
   in
   let sup = Supervise.stats t.sup in
-  let sorted tbl =
-    Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) tbl []
-    |> List.sort compare
+  let sorted cmap =
+    List.map (fun (k, v) -> (k, Json.Int v)) (Obs.Cmap.bindings cmap)
   in
   let q p = Clock.ns_to_us (int_of_float (Obs.Histogram.quantile t.latency p)) in
-  locked t (fun () ->
-      Json.Obj
+  let store_enabled, flushes, persist_errors =
+    Sync.with_lock t.persist_mu (fun () ->
+        (t.persist <> None, t.flushes, t.persist_errors))
+  in
+  Json.Obj
         [ "uptime_s",
           Json.Float (Clock.ns_to_s (Clock.now_ns () - t.started_ns));
           "workers", Json.Int (Engine.size t.engine);
           "requests",
           Json.Obj
-            [ "total", Json.Int t.total;
-              "predicted", Json.Int t.predicted;
-              "stats", Json.Int t.stats_served;
-              "version", Json.Int t.version_served;
+            [ "total", Json.Int (Atomic.get t.total);
+              "predicted", Json.Int (Atomic.get t.predicted);
+              "stats", Json.Int (Atomic.get t.stats_served);
+              "version", Json.Int (Atomic.get t.version_served);
               "by_arch", Json.Obj (sorted t.by_arch) ];
           "errors",
           Json.Obj
-            [ "total", Json.Int t.errors;
+            [ "total", Json.Int (Atomic.get t.errors);
               "by_kind", Json.Obj (sorted t.by_kind) ];
           "cache",
           Json.Obj
             [ "hits", Json.Int c.Engine.hits;
               "misses", Json.Int c.Engine.misses;
               "hit_rate", Json.Float hit_rate;
+              "coalesced", Json.Int c.Engine.coalesced;
               "evictions", Json.Int c.Engine.evictions;
               "entries", Json.Int c.Engine.entries;
-              "capacity", Json.Int c.Engine.capacity ];
+              "capacity", Json.Int c.Engine.capacity;
+              "shards", Json.Int c.Engine.shards ];
           "queue",
           Json.Obj
-            [ "capacity", Json.Int t.queue_cap; "shed", Json.Int t.shed ];
+            [ "capacity", Json.Int t.queue_cap;
+              "shed", Json.Int (Atomic.get t.shed) ];
           "connections",
           Json.Obj
             [ "accepted", Json.Int (Atomic.get t.conns.accepted);
@@ -357,16 +359,16 @@ let stats_json t =
                      [ "injected", Json.Int injected;
                        "hits", Json.Int hits ] ))
                (Fault.snapshot ()));
-          "io", Json.Obj [ "epipe", Json.Int t.epipe ];
+          "io", Json.Obj [ "epipe", Json.Int (Atomic.get t.epipe) ];
           "store",
           Json.Obj
-            [ "enabled", Json.Bool (t.persist <> None);
+            [ "enabled", Json.Bool store_enabled;
               "flush_every",
               (match t.flush_every with
                | None -> Json.Null
                | Some n -> Json.Int n);
-              "flushes", Json.Int t.flushes;
-              "persist_errors", Json.Int t.persist_errors ];
+              "flushes", Json.Int flushes;
+              "persist_errors", Json.Int persist_errors ];
           "limits",
           Json.Obj
             [ "max_line_bytes", Json.Int t.limits.max_line_bytes;
@@ -388,7 +390,7 @@ let stats_json t =
           (* global span/counter registry: attributes time to the
              model components (model.predec, model.dec, model.ports,
              model.precedence) and the engine *)
-          "process", Obs.snapshot () ])
+          "process", Obs.snapshot () ]
 
 (* ----- request handling ----- *)
 
@@ -476,10 +478,10 @@ let handle_request t (req : Json.t) : Json.t =
         | _ ->
           (match Json.member "cmd" req with
            | Some (Json.Str "stats") ->
-             locked t (fun () -> t.stats_served <- t.stats_served + 1);
+             Atomic.incr t.stats_served;
              Json.Obj [ "id", id; "stats", stats_json t ]
            | Some (Json.Str "version") ->
-             locked t (fun () -> t.version_served <- t.version_served + 1);
+             Atomic.incr t.version_served;
              Json.Obj [ "id", id; "version", version_json t ]
            | Some c ->
              error_response t ~id ~kind:"bad_request"
@@ -538,9 +540,8 @@ let handle_request t (req : Json.t) : Json.t =
                        error_response t ~id ~kind:"internal"
                          (Printexc.to_string e)
                      | Ok (`Done (Ok p)) ->
-                       locked t (fun () ->
-                           t.predicted <- t.predicted + 1;
-                           bump t.by_arch cfg.Config.abbrev);
+                       Atomic.incr t.predicted;
+                       Obs.Cmap.bump t.by_arch cfg.Config.abbrev;
                        tick_persist t;
                        (match Model.prediction_to_json p with
                         | Json.Obj fields -> Json.Obj (("id", id) :: fields)
@@ -559,7 +560,7 @@ let line_too_large_err len cap =
    caller gets exactly one JSON response object back. *)
 let handle_line t line : Json.t =
   Obs.timed t.latency @@ fun () ->
-  locked t (fun () -> t.total <- t.total + 1);
+  Atomic.incr t.total;
   let resp =
     if String.length line > t.limits.max_line_bytes then
       err_response t ~id:Json.Null
@@ -591,7 +592,7 @@ let handle_line t line : Json.t =
    without the line ever having been buffered. *)
 let handle_oversized t len : Json.t =
   Obs.timed t.latency @@ fun () ->
-  locked t (fun () -> t.total <- t.total + 1);
+  Atomic.incr t.total;
   err_response t ~id:Json.Null
     (line_too_large_err len t.limits.max_line_bytes)
 
@@ -605,11 +606,11 @@ let id_of_line line =
   | Error _ -> Json.Null
 
 let shed_for_line t line =
-  locked t (fun () -> t.total <- t.total + 1);
+  Atomic.incr t.total;
   shed_response t ~id:(id_of_line line)
 
 let rate_limited_for_line t line =
-  locked t (fun () -> t.total <- t.total + 1);
+  Atomic.incr t.total;
   Atomic.incr t.conns.rate_limited;
   error_response t ~id:(id_of_line line) ~kind:"rate_limited"
     ~extra:[ "retry_after_ms", Json.Int t.retry_after_ms ]
@@ -633,7 +634,7 @@ let session ?rate ?on_peer_gone t transport =
         (fun n -> ignore (Atomic.fetch_and_add t.conns.bytes_in n));
       on_bytes_out =
         (fun n -> ignore (Atomic.fetch_and_add t.conns.bytes_out n));
-      on_epipe = (fun () -> locked t (fun () -> t.epipe <- t.epipe + 1)) }
+      on_epipe = (fun () -> Atomic.incr t.epipe) }
   in
   Session.create ~queue_cap:t.queue_cap ?rate
     ~should_stop:(fun () -> Atomic.get t.stop)

@@ -63,6 +63,9 @@ type config = {
   workers : int option;      (** engine pool size; [None] = auto *)
   memoize : bool;            (** memoize predictions in a bounded LRU *)
   cache_cap : int option;    (** LRU capacity; [None] = default *)
+  cache_shards : int option;
+      (** memo-cache shard count; [None] = [workers * 4] (see
+          {!Engine.create}) *)
   deadline_ms : int option;  (** per-request budget; [None] = off *)
   queue_cap : int;           (** per-session request queue bound *)
   retry_after_ms : int;      (** hint sent with shed/rate_limited *)

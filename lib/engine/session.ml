@@ -63,14 +63,15 @@ type t = {
   burst : float;
   mutable tokens : float;
   mutable last_refill_ns : int;
-  (* counters, under [cmu]: bumped from reader and caller threads *)
-  cmu : Mutex.t;
-  mutable c_bytes_in : int;
-  mutable c_bytes_out : int;
-  mutable c_lines : int;
-  mutable c_shed : int;
-  mutable c_rate_limited : int;
-  mutable c_epipe : int;
+  (* counters: atomic accumulators bumped from reader and caller
+     threads; each is exact and monotone, but [counters] is not a
+     simultaneous snapshot across them *)
+  c_bytes_in : int Atomic.t;
+  c_bytes_out : int Atomic.t;
+  c_lines : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_rate_limited : int Atomic.t;
+  c_epipe : int Atomic.t;
 }
 
 let create ?(queue_cap = 128) ?(rate = 0.) ?burst
@@ -97,13 +98,12 @@ let create ?(queue_cap = 128) ?(rate = 0.) ?burst
     burst;
     tokens = burst;
     last_refill_ns = Facile_obs.Clock.now_ns ();
-    cmu = Mutex.create ();
-    c_bytes_in = 0;
-    c_bytes_out = 0;
-    c_lines = 0;
-    c_shed = 0;
-    c_rate_limited = 0;
-    c_epipe = 0 }
+    c_bytes_in = Atomic.make 0;
+    c_bytes_out = Atomic.make 0;
+    c_lines = Atomic.make 0;
+    c_shed = Atomic.make 0;
+    c_rate_limited = Atomic.make 0;
+    c_epipe = Atomic.make 0 }
 
 let stop t =
   Atomic.set t.stop_flag true;
@@ -112,15 +112,12 @@ let stop t =
 let stopped t = Atomic.get t.stop_flag || Atomic.get t.peer_gone
 
 let counters t =
-  Sync.with_lock t.cmu (fun () ->
-      { bytes_in = t.c_bytes_in;
-        bytes_out = t.c_bytes_out;
-        lines = t.c_lines;
-        shed = t.c_shed;
-        rate_limited = t.c_rate_limited;
-        epipe = t.c_epipe })
-
-let counted t f = Sync.with_lock t.cmu f
+  { bytes_in = Atomic.get t.c_bytes_in;
+    bytes_out = Atomic.get t.c_bytes_out;
+    lines = Atomic.get t.c_lines;
+    shed = Atomic.get t.c_shed;
+    rate_limited = Atomic.get t.c_rate_limited;
+    epipe = Atomic.get t.c_epipe }
 
 (* Refill-then-take token bucket; only the reader thread calls this,
    so the float state needs no lock. *)
@@ -147,11 +144,11 @@ let write_resp t s =
     match t.tr.write (s ^ "\n") with
     | () ->
       let n = String.length s + 1 in
-      counted t (fun () -> t.c_bytes_out <- t.c_bytes_out + n);
+      ignore (Atomic.fetch_and_add t.c_bytes_out n);
       (match t.sink with Some k -> k.on_bytes_out n | None -> ())
     | exception (Peer_closed | Sys_error _ | Unix.Unix_error _) ->
       Atomic.set t.peer_gone true;
-      counted t (fun () -> t.c_epipe <- t.c_epipe + 1);
+      Atomic.incr t.c_epipe;
       (match t.sink with Some k -> k.on_epipe () | None -> ());
       (try t.on_peer_gone () with _ -> ());
       stop t
@@ -160,17 +157,17 @@ let write_resp t s =
 let dispatch t = function
   | Framing.Line l ->
     if String.trim l <> "" then begin
-      counted t (fun () -> t.c_lines <- t.c_lines + 1);
+      Atomic.incr t.c_lines;
       if admit t then begin
         if not (Bqueue.push t.q (`Line l)) && not (Bqueue.is_closed t.q)
         then begin
           (* shed inline from the reader so the queue stays bounded *)
-          counted t (fun () -> t.c_shed <- t.c_shed + 1);
+          Atomic.incr t.c_shed;
           write_resp t (t.cb.on_shed l)
         end
       end
       else begin
-        counted t (fun () -> t.c_rate_limited <- t.c_rate_limited + 1);
+        Atomic.incr t.c_rate_limited;
         write_resp t (t.cb.on_rate_limited l)
       end
     end
@@ -187,7 +184,7 @@ let run t =
         match t.tr.read buf 0 (Bytes.length buf) with
         | 0 -> Atomic.set eof true
         | n ->
-          counted t (fun () -> t.c_bytes_in <- t.c_bytes_in + n);
+          ignore (Atomic.fetch_and_add t.c_bytes_in n);
           (match t.sink with Some k -> k.on_bytes_in n | None -> ());
           List.iter (dispatch t) (Framing.feed t.framing buf 0 n);
           loop ()

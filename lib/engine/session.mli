@@ -56,7 +56,9 @@ type sink = {
   on_epipe : unit -> unit;
 }
 
-(** Snapshot of this session's transport-level counters. *)
+(** This session's transport-level counters.  Each is an exact,
+    monotone atomic accumulator; the record is read counter by
+    counter, not as one simultaneous snapshot. *)
 type counters = {
   bytes_in : int;       (** raw bytes read, including newlines *)
   bytes_out : int;      (** raw bytes written, including newlines *)

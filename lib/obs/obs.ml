@@ -98,6 +98,40 @@ let rec registered reg create name =
     if Atomic.compare_and_set reg cur ((name, v) :: cur) then v
     else registered reg create name
 
+(* Per-instance concurrent counter map over the same CAS-published
+   assoc-list idiom as the registries: the serving layer's
+   by-arch/by-kind tallies are bumped from N session threads, and a
+   lock there would sit exactly where the stats path should stay
+   wait-free.  Key sets are tiny (arch abbrevs, error kinds), so an
+   assoc list beats a hashed structure and needs no synchronization
+   beyond the publish CAS. *)
+module Cmap = struct
+  type t = (string * int Atomic.t) list Atomic.t
+
+  let create () : t = Atomic.make []
+
+  let rec cell (t : t) name =
+    let cur = Atomic.get t in
+    match List.assoc_opt name cur with
+    | Some c -> c
+    | None ->
+      let c = Atomic.make 0 in
+      if Atomic.compare_and_set t cur ((name, c) :: cur) then c
+      else cell t name
+
+  let bump ?(by = 1) t name = ignore (Atomic.fetch_and_add (cell t name) by)
+
+  let get t name =
+    match List.assoc_opt name (Atomic.get t) with
+    | Some c -> Atomic.get c
+    | None -> 0
+
+  (* sorted for deterministic JSON field order *)
+  let bindings t =
+    List.sort compare
+      (List.map (fun (k, c) -> (k, Atomic.get c)) (Atomic.get t))
+end
+
 let histogram name = registered spans Histogram.create name
 let counter name = registered counters (fun () -> Atomic.make 0) name
 

@@ -754,7 +754,7 @@ let phase_tcp_bench () =
       "wall_32_s", Json.Float wall32 ]
 
 let phase_lru () =
-  Printf.printf "phase: bounded cache churn (--cache-cap 64)\n%!";
+  Printf.printf "phase: bounded cache churn (--cache-cap 64 --cache-shards 8)\n%!";
   let n = 200 in
   let reqs =
     List.init n (fun i ->
@@ -762,7 +762,12 @@ let phase_lru () =
         Json.to_string (Json.Obj [ "id", Json.Int i; "hex", Json.Str hex ]))
   in
   let r =
-    run_serve ~args:[ "--cache-cap"; "64"; "--queue"; "100000" ] reqs
+    (* 8 requested shards clamp to 4 at cap 64; the bound and the
+       eviction accounting must hold across the shards *)
+    run_serve
+      ~args:
+        [ "--cache-cap"; "64"; "--cache-shards"; "8"; "--queue"; "100000" ]
+      reqs
   in
   check "exit 0 under cache churn" (r.exit_code = 0);
   match r.final_stats with
@@ -771,7 +776,10 @@ let phase_lru () =
     checkf "evictions happened"
       (get_int [ "cache"; "evictions" ] s > 0) "none evicted";
     checkf "cache stayed bounded" (get_int [ "cache"; "entries" ] s <= 64)
-      "entries=%d" (get_int [ "cache"; "entries" ] s)
+      "entries=%d" (get_int [ "cache"; "entries" ] s);
+    checkf "effective shard count reported"
+      (get_int [ "cache"; "shards" ] s = 4)
+      "shards=%d" (get_int [ "cache"; "shards" ] s)
 
 (* ----- persistent prediction store ----- *)
 
@@ -824,7 +832,9 @@ let store_requests n =
 let phase_store_warm () =
   Printf.printf "phase: persistent store warm restart\n%!";
   let path = temp_path () in
-  let args = [ "--queue"; "100000"; "--store"; path ] in
+  let args =
+    [ "--queue"; "100000"; "--cache-shards"; "4"; "--store"; path ]
+  in
   let reqs = store_requests 48 in
   let cold = run_serve ~args reqs in
   check "cold run exit 0" (cold.exit_code = 0);

@@ -1,0 +1,284 @@
+(* The sharded single-flight memo cache (Facile_engine.Shard_cache):
+   equivalence against the reference single-lock Lru, single-flight
+   coalescing, concurrent-stress invariants, and shard-count
+   insensitivity of engine predictions. *)
+
+open Facile_uarch
+open Facile_core
+module Engine = Facile_engine.Engine
+module Lru = Facile_engine.Lru
+module Shard_cache = Facile_engine.Shard_cache
+
+let skl = Config.by_arch Config.SKL
+
+(* ------------------------------------------------------------------ *)
+(* Randomized op-trace equivalence vs the reference Lru.
+
+   A single-shard cache must behave exactly like one locked Lru —
+   same find results, same eviction count, same recency order.  With
+   many shards and no eviction pressure, the *contents* must still
+   match (eviction order is per-shard by design, so only the
+   no-eviction regime is order-comparable). *)
+
+type op = Find of int | Add of int * int | Compute of int
+
+let op_gen ~keys =
+  QCheck.Gen.(
+    frequency
+      [ 3, map (fun k -> Find k) (int_bound (keys - 1));
+        3, map2 (fun k v -> Add (k, v)) (int_bound (keys - 1)) small_nat;
+        2, map (fun k -> Compute k) (int_bound (keys - 1)) ])
+
+let trace_arb ~keys =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Find k -> Printf.sprintf "find %d" k
+             | Add (k, v) -> Printf.sprintf "add %d=%d" k v
+             | Compute k -> Printf.sprintf "compute %d" k)
+           ops))
+    QCheck.Gen.(list_size (int_range 1 200) (op_gen ~keys))
+
+(* compute is a pure function of the key, like a prediction *)
+let value_of k = (k * 7919) + 13
+
+let qcheck_single_shard_equivalence =
+  QCheck.Test.make ~name:"1-shard cache is exactly the reference Lru"
+    ~count:300
+    (QCheck.pair (trace_arb ~keys:24) (QCheck.int_range 1 16))
+    (fun (ops, cap) ->
+      let sharded = Shard_cache.create ~shards:1 ~cap ~hash:Hashtbl.hash () in
+      let reference = Lru.create cap in
+      List.iter
+        (fun op ->
+          match op with
+          | Find k ->
+            let a = Shard_cache.find sharded k in
+            let b = Lru.find reference k in
+            if a <> b then
+              QCheck.Test.fail_reportf "find %d: %s vs reference %s" k
+                (match a with Some v -> string_of_int v | None -> "none")
+                (match b with Some v -> string_of_int v | None -> "none")
+          | Add (k, v) ->
+            Shard_cache.add sharded k v;
+            Lru.add reference k v
+          | Compute k ->
+            let a = Shard_cache.find_or_compute sharded k (fun () -> value_of k)
+            and b =
+              match Lru.find reference k with
+              | Some v -> v
+              | None ->
+                let v = value_of k in
+                Lru.add reference k v;
+                v
+            in
+            if a <> b then
+              QCheck.Test.fail_reportf "compute %d: %d vs reference %d" k a b)
+        ops;
+      let s = Shard_cache.stats sharded in
+      s.Shard_cache.entries = Lru.length reference
+      && s.Shard_cache.evictions = Lru.evictions reference
+      && Shard_cache.to_list sharded = Lru.to_list reference)
+
+let qcheck_sharded_contents_equivalence =
+  QCheck.Test.make
+    ~name:"8-shard cache holds the reference contents (no eviction)"
+    ~count:300 (trace_arb ~keys:24)
+    (fun ops ->
+      (* cap >= keyspace on both sides: membership must coincide even
+         though recency is per-shard *)
+      let cap = 256 in
+      let sharded = Shard_cache.create ~shards:8 ~cap ~hash:Hashtbl.hash () in
+      let reference = Lru.create cap in
+      List.iter
+        (fun op ->
+          match op with
+          | Find k ->
+            if Shard_cache.find sharded k <> Lru.find reference k then
+              QCheck.Test.fail_reportf "find %d diverged" k
+          | Add (k, v) ->
+            Shard_cache.add sharded k v;
+            Lru.add reference k v
+          | Compute k ->
+            let a = Shard_cache.find_or_compute sharded k (fun () -> value_of k)
+            and b =
+              match Lru.find reference k with
+              | Some v -> v
+              | None ->
+                let v = value_of k in
+                Lru.add reference k v;
+                v
+            in
+            if a <> b then QCheck.Test.fail_reportf "compute %d diverged" k)
+        ops;
+      let s = Shard_cache.stats sharded in
+      let sorted l = List.sort compare l in
+      s.Shard_cache.evictions = 0
+      && sorted (Shard_cache.to_list sharded) = sorted (Lru.to_list reference))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent stress: domains hammer an overlapping keyspace through
+   [find_or_compute]; every result must be the pure function of its
+   key, the per-call hit-or-miss accounting must balance exactly, and
+   occupancy must respect the bound. *)
+
+let concurrent_stress =
+  Alcotest.test_case "concurrent find_or_compute keeps its invariants"
+    `Quick (fun () ->
+      let keys = 64 and per_domain = 2000 and domains = 4 in
+      let cache =
+        Shard_cache.create ~shards:8 ~cap:1024 ~hash:Hashtbl.hash ()
+      in
+      let bad = Atomic.make 0 in
+      let worker seed () =
+        let st = Random.State.make [| seed |] in
+        for _ = 1 to per_domain do
+          let k = Random.State.int st keys in
+          let v = Shard_cache.find_or_compute cache k (fun () -> value_of k) in
+          if v <> value_of k then Atomic.incr bad
+        done
+      in
+      let ds = List.init domains (fun i -> Domain.spawn (worker (i + 41))) in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "every result is the pure value" 0 (Atomic.get bad);
+      let s = Shard_cache.stats cache in
+      Alcotest.(check int) "each call counted exactly once"
+        (domains * per_domain)
+        (s.Shard_cache.hits + s.Shard_cache.misses);
+      (* no eviction pressure: one compute per distinct key *)
+      Alcotest.(check int) "misses = distinct keys" keys s.Shard_cache.misses;
+      Alcotest.(check int) "entries = distinct keys" keys s.Shard_cache.entries;
+      Alcotest.(check int) "nothing evicted" 0 s.Shard_cache.evictions)
+
+(* ------------------------------------------------------------------ *)
+(* Single flight: K racing requests for one key compute exactly once.
+   The owner's compute spins until every domain has announced itself,
+   so the race is real, not a lucky interleaving. *)
+
+let single_flight =
+  Alcotest.test_case "K=8 racing identical requests compute once" `Quick
+    (fun () ->
+      let k = 8 in
+      let cache = Shard_cache.create ~shards:4 ~cap:64 ~hash:Hashtbl.hash () in
+      let computes = Atomic.make 0 in
+      let arrived = Atomic.make 0 in
+      let compute () =
+        Atomic.incr computes;
+        (* hold the flight open until all K requesters are in the race *)
+        while Atomic.get arrived < k do
+          Domain.cpu_relax ()
+        done;
+        42
+      in
+      let racer () =
+        Atomic.incr arrived;
+        Shard_cache.find_or_compute cache 7 compute
+      in
+      let ds = List.init k (fun _ -> Domain.spawn racer) in
+      let results = List.map Domain.join ds in
+      Alcotest.(check (list int)) "all see the one result"
+        (List.init k (fun _ -> 42))
+        results;
+      Alcotest.(check int) "exactly one compute" 1 (Atomic.get computes);
+      let s = Shard_cache.stats cache in
+      Alcotest.(check int) "one miss" 1 s.Shard_cache.misses;
+      Alcotest.(check int) "the rest are hits" (k - 1) s.Shard_cache.hits)
+
+let owner_failure_recovers =
+  Alcotest.test_case "a raising owner releases the flight" `Quick (fun () ->
+      let cache = Shard_cache.create ~shards:2 ~cap:32 ~hash:Hashtbl.hash () in
+      (match
+         Shard_cache.find_or_compute cache 3 (fun () -> failwith "boom")
+       with
+      | (_ : int) -> Alcotest.fail "expected the owner's exception"
+      | exception Failure m ->
+        Alcotest.(check string) "owner sees its own exception" "boom" m);
+      (* the key is not wedged: the next requester becomes the owner *)
+      Alcotest.(check int) "retry computes fresh" 99
+        (Shard_cache.find_or_compute cache 3 (fun () -> 99));
+      Alcotest.(check (option int)) "and the value is cached" (Some 99)
+        (Shard_cache.find cache 3))
+
+(* ------------------------------------------------------------------ *)
+(* Capacity distribution and shard clamping                            *)
+
+let shape_tests =
+  [ Alcotest.test_case "per-shard capacities sum to the exact bound"
+      `Quick (fun () ->
+        List.iter
+          (fun (shards, cap) ->
+            let c : (int, int) Shard_cache.t =
+              Shard_cache.create ~shards ~cap ~hash:Hashtbl.hash ()
+            in
+            let s = Shard_cache.stats c in
+            Alcotest.(check int)
+              (Printf.sprintf "cap %d over %d shards" cap shards)
+              cap s.Shard_cache.capacity)
+          [ (1, 7); (3, 100); (4, 65536); (8, 1000); (32, 97) ]);
+    Alcotest.test_case "tiny capacities collapse to fewer shards" `Quick
+      (fun () ->
+        let count ~shards ~cap =
+          Shard_cache.shard_count
+            (Shard_cache.create ~shards ~cap ~hash:Hashtbl.hash ()
+              : (int, int) Shard_cache.t)
+        in
+        Alcotest.(check int) "cap 2 -> 1 shard" 1 (count ~shards:4 ~cap:2);
+        Alcotest.(check int) "cap 64 caps at 4 shards" 4
+          (count ~shards:16 ~cap:64);
+        Alcotest.(check int) "shard count rounds up to a power of two" 8
+          (count ~shards:5 ~cap:65536));
+    Alcotest.test_case "rejects invalid arguments" `Quick (fun () ->
+        (match Shard_cache.create ~shards:0 ~cap:16 ~hash:Hashtbl.hash () with
+        | (_ : (int, int) Shard_cache.t) -> Alcotest.fail "accepted shards 0"
+        | exception Invalid_argument _ -> ());
+        match Shard_cache.create ~shards:4 ~cap:0 ~hash:Hashtbl.hash () with
+        | (_ : (int, int) Shard_cache.t) -> Alcotest.fail "accepted cap 0"
+        | exception Invalid_argument _ -> ()) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level: predictions are bit-identical whatever the shard
+   count (the acceptance bar for making the serving cache concurrent). *)
+
+let shard_count_bit_identity =
+  Alcotest.test_case "predictions identical across shard counts" `Quick
+    (fun () ->
+      let cases = Facile_bhive.Suite.corpus ~seed:47 ~size:60 () in
+      let blocks =
+        List.concat_map
+          (fun (c : Facile_bhive.Suite.case) ->
+            [ Block.of_instructions skl c.Facile_bhive.Suite.body;
+              Block.of_instructions skl c.Facile_bhive.Suite.loop ])
+          cases
+      in
+      let blocks = blocks @ blocks in
+      let predict ~cache_shards =
+        Engine.with_pool ~workers:2 ~cache_shards (fun pool ->
+            Engine.predict_batch pool ~mode:`Auto blocks)
+      in
+      let reference = predict ~cache_shards:1 in
+      List.iter
+        (fun shards ->
+          let got = predict ~cache_shards:shards in
+          List.iter2
+            (fun (a : Model.prediction) (b : Model.prediction) ->
+              List.iter2
+                (fun (c1, v1) (c2, v2) ->
+                  assert (c1 = c2);
+                  if not (Float.equal v1 v2) then
+                    Alcotest.failf "%d shards: component %s differs" shards
+                      (Model.component_name c1))
+                a.Model.values b.Model.values;
+              if not (Float.equal a.Model.cycles b.Model.cycles) then
+                Alcotest.failf "%d shards: cycles differ" shards)
+            reference got)
+        [ 2; 8; 32 ])
+
+let suite =
+  [ ( "shard_cache",
+      [ QCheck_alcotest.to_alcotest qcheck_single_shard_equivalence;
+        QCheck_alcotest.to_alcotest qcheck_sharded_contents_equivalence;
+        concurrent_stress; single_flight; owner_failure_recovers ]
+      @ shape_tests
+      @ [ shard_count_bit_identity ] ) ]

@@ -460,6 +460,50 @@ let warm_tests =
                 Alcotest.(check bool) "bit-identical" true
                   (Codec.pred_equal a b))
               cold_preds warm_preds));
+    Alcotest.test_case "warm restart is shard-count agnostic" `Quick
+      (fun () ->
+        (* persist from a 4-shard cache, re-seed engines with different
+           shard counts: every block must still be a bit-identical hit,
+           whatever shard its key lands in after the restart *)
+        with_temp @@ fun path ->
+        let cfg = Config.by_arch Config.SKL in
+        let blocks =
+          List.map (block_of_hex cfg)
+            [ "4801d8"; "4829d8"; "90"; "4801c8"; "4831c0"; "4889c3" ]
+        in
+        let cold_preds =
+          Engine.with_pool ~workers:1 ~cache_shards:4 (fun t ->
+              let ps = List.map (Engine.predict t ~mode:`Auto) blocks in
+              (match Store.open_rw path with
+               | Error e -> Alcotest.failf "open: %s" (Err.to_string e)
+               | Ok (w, _) ->
+                 let n = Store.sync_memo w (Engine.memo_entries t) in
+                 Store.close w;
+                 Alcotest.(check int) "all persisted" 6 n);
+              ps)
+        in
+        let report = check_load_ok path in
+        List.iter
+          (fun cache_shards ->
+            Engine.with_pool ~workers:1 ~cache_shards (fun t ->
+                Engine.memo_seed t
+                  (List.rev_map Codec.to_memo report.Store.records);
+                let warm_preds =
+                  List.map (Engine.predict t ~mode:`Auto) blocks
+                in
+                let hits, misses = Engine.memo_stats t in
+                Alcotest.(check int)
+                  (Printf.sprintf "%d shards: every block a hit" cache_shards)
+                  6 hits;
+                Alcotest.(check int)
+                  (Printf.sprintf "%d shards: no recompute" cache_shards)
+                  0 misses;
+                List.iter2
+                  (fun a b ->
+                    Alcotest.(check bool) "bit-identical" true
+                      (Codec.pred_equal a b))
+                  cold_preds warm_preds))
+          [ 1; 8 ]);
     Alcotest.test_case "sync_memo dedups against recovered records" `Quick
       (fun () ->
         with_temp @@ fun path ->
